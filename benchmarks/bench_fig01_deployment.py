@@ -1,0 +1,21 @@
+"""Figure 1: presence of 221 honeypots in 55 countries."""
+
+from common import echo, heading, print_top
+
+from repro.farm.deployment import build_default_deployment
+
+
+def test_fig01(benchmark, dataset):
+    plan = benchmark.pedantic(build_default_deployment, rounds=3, iterations=1)
+    heading("Figure 1 — honeypot deployment",
+            "221 honeypots in 55 countries and 65 ASes; most countries "
+            "host one pot, the US and Singapore host several")
+    counts = plan.pots_per_country()
+    print_top("pots per country", counts, k=10)
+    single = sum(1 for v in counts.values() if v == 1)
+    echo(f"  countries: {len(counts)}, single-pot countries: {single}, "
+          f"ASes: {len(plan.honeypot_asns)}")
+    assert plan.n_honeypots == 221
+    assert len(counts) == 55
+    assert len(plan.honeypot_asns) == 65
+    assert counts["US"] == max(counts.values())

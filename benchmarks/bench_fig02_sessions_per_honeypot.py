@@ -1,0 +1,24 @@
+"""Figure 2: number of sessions per honeypot, sorted by activity."""
+
+import numpy as np
+from common import echo, heading
+
+from repro.core.activity import ActivitySummary, sorted_activity
+
+
+def test_fig02(benchmark, store):
+    counts = benchmark.pedantic(sorted_activity, args=(store,),
+                                rounds=3, iterations=1)
+    summary = ActivitySummary.compute(store)
+    heading("Figure 2 — sessions per honeypot (sorted)",
+            "top-10 pots see 14% of sessions; knee near rank 11; most "
+            "targeted pot >30x the least; min pot still >360k sessions")
+    idx = np.unique(np.geomspace(1, len(counts), 10).astype(int)) - 1
+    echo("  sorted curve: " + ", ".join(
+        f"r{int(i) + 1}={counts[i]:,}" for i in idx))
+    echo(f"  top-10 share: paper 14% | measured {summary.top10_share:.1%}")
+    echo(f"  max/min: paper >30x | measured {summary.max_min_ratio:.1f}x")
+    echo(f"  knee rank (max-chord-distance heuristic): {summary.knee_rank}")
+    assert 0.08 < summary.top10_share < 0.22
+    assert summary.max_min_ratio > 8
+    assert (counts > 0).all()

@@ -1,0 +1,20 @@
+"""Table 3: most popular commands (split at ';' and '|')."""
+
+from common import echo, heading
+
+from repro.core.tables import table3_commands
+
+
+def test_table3(benchmark, store):
+    rows = benchmark.pedantic(table3_commands, args=(store, 20),
+                              rounds=3, iterations=1)
+    heading("Table 3 — most popular commands",
+            "information gathering (uname/free/w/cat /proc/cpuinfo), "
+            "script execution, remote file access, SSH-key and "
+            "credential manipulation")
+    for rank, (command, count) in enumerate(rows, start=1):
+        shown = command if len(command) <= 60 else command[:57] + "..."
+        echo(f"  {rank:2d}. {count:>8,}  {shown}")
+    joined = " ".join(c for c, _ in rows)
+    assert "uname" in joined
+    assert any(k in joined for k in ("free", "cpuinfo"))

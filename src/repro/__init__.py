@@ -1,0 +1,19 @@
+"""Reproduction of "Fifteen Months in the Life of a Honeyfarm" (IMC 2023).
+
+A from-scratch honeyfarm system — medium-interaction SSH/Telnet honeypots,
+a 221-pot global deployment, a calibrated synthetic attacker population —
+plus the full analysis suite behind the paper's tables and figures.
+
+Entry points:
+
+>>> from repro import ScenarioConfig, generate_dataset
+>>> dataset = generate_dataset(ScenarioConfig(scale=1/4000))
+>>> from repro.core.report import print_summary
+>>> print(print_summary(dataset))
+"""
+
+from repro.workload import ScenarioConfig, HoneyfarmDataset, generate_dataset
+
+__version__ = "1.0.0"
+
+__all__ = ["ScenarioConfig", "HoneyfarmDataset", "generate_dataset", "__version__"]

@@ -1,0 +1,146 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``generate`` — generate a scaled trace and save it (npz or jsonl);
+* ``report``   — generate (or load) a trace and print the paper-vs-measured
+  summary;
+* ``tables``   — print Tables 1-6 for a generated trace.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", type=int, default=4000,
+                        help="downscale denominator vs the paper's 402M "
+                             "sessions (default 4000)")
+    parser.add_argument("--seed", type=int, default=2023)
+    parser.add_argument("--hash-scale", type=float, default=None,
+                        help="unique-hash budget vs the paper's 64k "
+                             "(default: derived from --scale)")
+
+
+def _config(args):
+    from repro.workload import ScenarioConfig
+
+    hash_scale = args.hash_scale
+    if hash_scale is None:
+        hash_scale = min(0.08, 80.0 / args.scale)
+    return ScenarioConfig(scale=1.0 / args.scale, seed=args.seed,
+                          hash_scale=hash_scale)
+
+
+def cmd_generate(args) -> int:
+    from repro.store.io import write_jsonl
+    from repro.store.npz import save_npz
+    from repro.workload import generate_dataset
+
+    config = _config(args)
+    print(f"generating {config.total_sessions:,} sessions "
+          f"(seed {config.seed}) ...", file=sys.stderr)
+    dataset = generate_dataset(config)
+    if args.out.endswith((".jsonl", ".jsonl.gz")):
+        count = write_jsonl(iter(dataset.store), args.out)
+        print(f"wrote {count:,} records to {args.out}")
+    else:
+        save_npz(dataset.store, args.out)
+        print(f"wrote {len(dataset.store):,} sessions to {args.out}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core.report import print_summary
+    from repro.workload import generate_dataset
+
+    dataset = generate_dataset(_config(args))
+    print(print_summary(dataset))
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.core.tables import (
+        format_table,
+        table1_categories,
+        table2_passwords,
+        table3_commands,
+        tables_4_5_6,
+    )
+    from repro.workload import generate_dataset
+
+    dataset = generate_dataset(_config(args))
+    store = dataset.store
+    labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns
+              if c.primary_hash}
+
+    t1 = table1_categories(store)
+    print("Table 1 — session categories")
+    print(format_table(
+        [(cat, f"{share:.2%}", f"{t1.ssh_share_of_category[cat]:.2%}")
+         for cat, share in t1.overall.items()],
+        ["category", "share", "ssh share"]))
+    print("\nTable 2 — top successful passwords")
+    print(format_table(table2_passwords(store), ["password", "logins"]))
+    print("\nTable 3 — top commands")
+    print(format_table(table3_commands(store, 15), ["command", "sessions"]))
+    hash_tables = tables_4_5_6(store, dataset.intel, labels)
+    for key, title in (("by_sessions", "Table 4 — top hashes by sessions"),
+                       ("by_clients", "Table 5 — top hashes by client IPs"),
+                       ("by_days", "Table 6 — top hashes by active days")):
+        print(f"\n{title}")
+        print(format_table(
+            [(r.hash_label, r.n_sessions, r.n_clients, r.n_days, r.tag,
+              r.n_honeypots) for r in hash_tables[key]],
+            ["hash", "sessions", "clients", "days", "tag", "pots"]))
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.workload import generate_dataset
+    from repro.workload.validation import validate
+
+    dataset = generate_dataset(_config(args))
+    report = validate(dataset)
+    print(report.render())
+    if report.passed:
+        print("calibration: PASSED")
+        return 0
+    print(f"calibration: FAILED ({len(report.failures)} hard checks)")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Honeyfarm reproduction (IMC'23) command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_generate = sub.add_parser("generate", help="generate and save a trace")
+    _add_scenario_args(p_generate)
+    p_generate.add_argument("--out", default="trace.npz",
+                            help=".npz (fast) or .jsonl/.jsonl.gz output")
+    p_generate.set_defaults(func=cmd_generate)
+
+    p_report = sub.add_parser("report", help="print paper-vs-measured summary")
+    _add_scenario_args(p_report)
+    p_report.set_defaults(func=cmd_report)
+
+    p_tables = sub.add_parser("tables", help="print Tables 1-6")
+    _add_scenario_args(p_tables)
+    p_tables.set_defaults(func=cmd_tables)
+
+    p_validate = sub.add_parser(
+        "validate", help="check calibration against the paper's targets")
+    _add_scenario_args(p_validate)
+    p_validate.set_defaults(func=cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

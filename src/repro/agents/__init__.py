@@ -1,0 +1,30 @@
+"""Attacker models: who connects to the honeyfarm and what they do.
+
+The Internet-side population the paper observes — port scanners, credential
+scouts, and intrusion campaigns (Mirai botnets, SSH-key trojans, miners) —
+is synthesised here.  `credentials` holds the password dictionaries,
+`scripts` the interaction scripts intruders run, `campaigns` the attack
+campaign specifications (calibrated to the paper's Tables 4-6), and
+`population` the client-IP population model (roles, lifetimes, targeting
+breadth, geographic mix).
+"""
+
+from repro.agents.credentials import CredentialDictionary, SUCCESSFUL_PASSWORDS, FAILED_USERNAMES
+from repro.agents.scripts import ScriptTemplate, ScriptKind, build_script
+from repro.agents.campaigns import CampaignSpec, marquee_campaigns, midtail_campaigns
+from repro.agents.population import ClientPopulation, ClientRole, PopulationConfig
+
+__all__ = [
+    "CredentialDictionary",
+    "SUCCESSFUL_PASSWORDS",
+    "FAILED_USERNAMES",
+    "ScriptTemplate",
+    "ScriptKind",
+    "build_script",
+    "CampaignSpec",
+    "marquee_campaigns",
+    "midtail_campaigns",
+    "ClientPopulation",
+    "ClientRole",
+    "PopulationConfig",
+]

@@ -1,0 +1,128 @@
+"""Credential dictionaries used by scouts and intruders.
+
+The honeypot accepts ``root`` with any password except ``"root"``; the
+paper's Table 2 lists the ten most used *successful* passwords — a mix of
+defaults ("admin", "1234") and oddly specific strings suggesting leaked
+credential lists ("3245gs5662d34", "vertex25ektks123", "GM8182").  Failed
+logins mostly use non-root usernames ("nproc", "admin", "user") or the
+rejected password.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.simulation.rng import RngStream
+
+#: Table 2 of the paper: top-10 successful passwords (with relative weights
+#: chosen so the sampled ranking reproduces the table's order).
+SUCCESSFUL_PASSWORDS: List[Tuple[str, float]] = [
+    ("admin", 200.0),
+    ("1234", 180.0),
+    ("3245gs5662d34", 130.0),
+    ("dreambox", 110.0),
+    ("vertex25ektks123", 95.0),
+    ("12345", 85.0),
+    ("h3c", 70.0),
+    ("1qaz2wsx3edc", 60.0),
+    ("passw0rd", 52.0),
+    ("GM8182", 45.0),
+    # Long tail of other successful guesses.
+    ("password", 30.0),
+    ("123456", 28.0),
+    ("root123", 22.0),
+    ("default", 18.0),
+    ("admin123", 15.0),
+    ("toor", 12.0),
+    ("changeme", 10.0),
+    ("qwerty", 9.0),
+    ("raspberry", 8.0),
+    ("ubnt", 7.0),
+    ("support", 6.0),
+    ("000000", 5.0),
+    ("7ujMko0admin", 4.0),
+    ("xc3511", 4.0),
+    ("vizxv", 3.5),
+    ("juantech", 3.0),
+    ("anko", 2.5),
+    ("xmhdipc", 2.0),
+]
+
+#: Usernames seen on failed attempts (non-root logins always fail).
+FAILED_USERNAMES: List[Tuple[str, float]] = [
+    ("nproc", 90.0),
+    ("admin", 85.0),
+    ("user", 70.0),
+    ("ubuntu", 40.0),
+    ("test", 35.0),
+    ("oracle", 28.0),
+    ("pi", 25.0),
+    ("git", 22.0),
+    ("postgres", 20.0),
+    ("ftpuser", 16.0),
+    ("guest", 14.0),
+    ("deploy", 10.0),
+    ("hadoop", 8.0),
+    ("mysql", 7.0),
+    ("www", 6.0),
+    ("nagios", 5.0),
+]
+
+#: Passwords tried on failing attempts (includes the one root password the
+#: policy rejects).
+FAILED_PASSWORDS: List[Tuple[str, float]] = [
+    ("root", 80.0),
+    ("123456", 60.0),
+    ("password", 50.0),
+    ("admin", 45.0),
+    ("12345678", 30.0),
+    ("1234", 28.0),
+    ("qwerty", 22.0),
+    ("abc123", 16.0),
+    ("111111", 12.0),
+    ("letmein", 8.0),
+    ("", 6.0),
+]
+
+
+class CredentialDictionary:
+    """Weighted samplers over the credential lists above."""
+
+    def __init__(self, rng: RngStream):
+        self.rng = rng
+        self._success_values = [p for p, _ in SUCCESSFUL_PASSWORDS]
+        self._success_weights = _normalise([w for _, w in SUCCESSFUL_PASSWORDS])
+        self._fail_users = [u for u, _ in FAILED_USERNAMES]
+        self._fail_user_weights = _normalise([w for _, w in FAILED_USERNAMES])
+        self._fail_passwords = [p for p, _ in FAILED_PASSWORDS]
+        self._fail_password_weights = _normalise([w for _, w in FAILED_PASSWORDS])
+
+    def successful_password(self) -> str:
+        """A password that will pass the (root, != "root") policy."""
+        return self.rng.choice(self._success_values, p=self._success_weights)
+
+    def failing_credentials(self) -> Tuple[str, str]:
+        """A (username, password) pair that will fail the policy.
+
+        Roughly half the failures are wrong-username attempts; the rest are
+        root attempts with the rejected password.
+        """
+        if self.rng.bernoulli(0.55):
+            username = self.rng.choice(self._fail_users, p=self._fail_user_weights)
+            password = self.rng.choice(
+                self._fail_passwords, p=self._fail_password_weights
+            )
+            return username, password
+        return "root", "root"
+
+    def attempt_sequence(self, n_failures: int, end_success: bool) -> List[Tuple[str, str]]:
+        """A login attempt sequence: ``n_failures`` failures, then success."""
+        attempts = [self.failing_credentials() for _ in range(n_failures)]
+        if end_success:
+            attempts.append(("root", self.successful_password()))
+        return attempts
+
+
+def _normalise(weights: List[float]) -> List[float]:
+    total = sum(weights)
+    return [w / total for w in weights]

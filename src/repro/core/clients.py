@@ -1,0 +1,235 @@
+"""Client-IP analyses (paper Section 7, Figures 10-15).
+
+All computations are vectorised over the columnar store: unique-IP
+population sizes, per-country distributions (overall and per category),
+daily unique-IP series, pots-per-client and days-per-client ECDFs,
+clients-per-honeypot curves, and the daily category-combination counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classify import CATEGORIES, Category, classify_store
+from repro.core.ecdf import Ecdf
+from repro.store.store import SessionStore
+
+
+def unique_clients(store: SessionStore, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    ips = store.client_ip if mask is None else store.client_ip[mask]
+    return np.unique(ips)
+
+
+def unique_client_count(store: SessionStore, mask: Optional[np.ndarray] = None) -> int:
+    return len(unique_clients(store, mask))
+
+
+def unique_as_count(store: SessionStore, mask: Optional[np.ndarray] = None) -> int:
+    asns = store.client_asn if mask is None else store.client_asn[mask]
+    return len(np.unique(asns[asns >= 0]))
+
+
+def clients_per_country(
+    store: SessionStore, mask: Optional[np.ndarray] = None
+) -> Dict[str, int]:
+    """Unique client IPs per country (Figure 10 / 23)."""
+    ips = store.client_ip if mask is None else store.client_ip[mask]
+    countries = store.client_country if mask is None else store.client_country[mask]
+    # Unique (ip, country) pairs; an IP has a single country by construction.
+    key = ips.astype(np.uint64) << np.uint64(16)
+    key |= countries.astype(np.uint64)
+    unique_keys = np.unique(key)
+    country_ids = (unique_keys & np.uint64(0xFFFF)).astype(np.int64)
+    counts = np.bincount(country_ids, minlength=len(store.countries))
+    return {
+        store.countries.value_of(i): int(c)
+        for i, c in enumerate(counts)
+        if c > 0
+    }
+
+
+def clients_per_country_by_category(store: SessionStore) -> Dict[str, Dict[str, int]]:
+    """Figure 23: per-category country distribution of client IPs."""
+    codes = classify_store(store)
+    out: Dict[str, Dict[str, int]] = {}
+    for i, cat in enumerate(CATEGORIES):
+        out[cat.value] = clients_per_country(store, codes == i)
+    return out
+
+
+def daily_unique_ips(store: SessionStore) -> Dict[str, np.ndarray]:
+    """Figure 11: unique client IPs per day per category."""
+    codes = classify_store(store)
+    n_days = store.n_days
+    out: Dict[str, np.ndarray] = {}
+    for i, cat in enumerate(CATEGORIES):
+        mask = codes == i
+        days = store.day[mask].astype(np.uint64)
+        ips = store.client_ip[mask].astype(np.uint64)
+        key = (ips << np.uint64(16)) | days
+        unique_keys = np.unique(key)
+        day_of_key = (unique_keys & np.uint64(0xFFFF)).astype(np.int64)
+        out[cat.value] = np.bincount(day_of_key, minlength=n_days)
+    return out
+
+
+def honeypots_per_client(
+    store: SessionStore, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Distinct honeypots contacted per client IP (Figure 12 sample)."""
+    ips = store.client_ip if mask is None else store.client_ip[mask]
+    pots = store.honeypot if mask is None else store.honeypot[mask]
+    key = (ips.astype(np.uint64) << np.uint64(16)) | pots.astype(np.uint64)
+    unique_pairs = np.unique(key)
+    pair_ips = (unique_pairs >> np.uint64(16))
+    _, counts = np.unique(pair_ips, return_counts=True)
+    return counts
+
+
+def honeypots_per_client_ecdfs(store: SessionStore) -> Dict[str, Ecdf]:
+    """Figure 12: ECDF of pots contacted per client, overall + per category."""
+    codes = classify_store(store)
+    out = {"ALL": Ecdf(honeypots_per_client(store))}
+    for i, cat in enumerate(CATEGORIES):
+        out[cat.value] = Ecdf(honeypots_per_client(store, codes == i))
+    return out
+
+
+def days_per_client(
+    store: SessionStore, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Distinct active days per client IP (Figure 13 sample)."""
+    ips = store.client_ip if mask is None else store.client_ip[mask]
+    days = store.day if mask is None else store.day[mask]
+    key = (ips.astype(np.uint64) << np.uint64(16)) | days.astype(np.uint64)
+    unique_pairs = np.unique(key)
+    pair_ips = unique_pairs >> np.uint64(16)
+    _, counts = np.unique(pair_ips, return_counts=True)
+    return counts
+
+
+def days_per_client_ecdfs(store: SessionStore) -> Dict[str, Ecdf]:
+    """Figure 13: ECDF of active days per client, overall + per category."""
+    codes = classify_store(store)
+    out = {"ALL": Ecdf(days_per_client(store))}
+    for i, cat in enumerate(CATEGORIES):
+        out[cat.value] = Ecdf(days_per_client(store, codes == i))
+    return out
+
+
+def clients_per_honeypot(
+    store: SessionStore, mask: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Unique client IPs per honeypot (Figure 14)."""
+    ips = store.client_ip if mask is None else store.client_ip[mask]
+    pots = store.honeypot if mask is None else store.honeypot[mask]
+    key = (ips.astype(np.uint64) << np.uint64(16)) | pots.astype(np.uint64)
+    unique_pairs = np.unique(key)
+    pair_pots = (unique_pairs & np.uint64(0xFFFF)).astype(np.int64)
+    return np.bincount(pair_pots, minlength=store.n_honeypots)
+
+
+@dataclass
+class ClientsPerHoneypot:
+    """Figure 14's curves: clients per pot, overall and per category."""
+
+    overall: np.ndarray
+    per_category: Dict[str, np.ndarray]
+    sessions: np.ndarray
+
+    @property
+    def order(self) -> np.ndarray:
+        """Honeypot indices sorted by overall client count, descending."""
+        return np.argsort(self.overall)[::-1]
+
+
+def clients_per_honeypot_report(store: SessionStore) -> ClientsPerHoneypot:
+    codes = classify_store(store)
+    per_category = {
+        cat.value: clients_per_honeypot(store, codes == i)
+        for i, cat in enumerate(CATEGORIES)
+    }
+    return ClientsPerHoneypot(
+        overall=clients_per_honeypot(store),
+        per_category=per_category,
+        sessions=np.bincount(store.honeypot, minlength=store.n_honeypots),
+    )
+
+
+def multi_category_share(store: SessionStore) -> float:
+    """Fraction of client IPs appearing in more than one category."""
+    codes = classify_store(store)
+    key = (store.client_ip.astype(np.uint64) << np.uint64(8)) | codes.astype(np.uint64)
+    unique_pairs = np.unique(key)
+    pair_ips = unique_pairs >> np.uint64(8)
+    _, counts = np.unique(pair_ips, return_counts=True)
+    if len(counts) == 0:
+        return 0.0
+    return float((counts > 1).mean())
+
+
+#: The category combinations Figure 15 tracks (over NO_CRED/FAIL_LOG/CMD).
+FIG15_COMBOS = [
+    ("NO_CRED",), ("FAIL_LOG",), ("CMD",),
+    ("NO_CRED", "FAIL_LOG"), ("NO_CRED", "CMD"), ("FAIL_LOG", "CMD"),
+    ("NO_CRED", "FAIL_LOG", "CMD"),
+]
+
+
+def daily_category_combinations(store: SessionStore) -> Dict[Tuple[str, ...], np.ndarray]:
+    """Figure 15: clients per category-combination per day.
+
+    For each day, clients are assigned the exact set of categories (among
+    NO_CRED, FAIL_LOG, CMD) they participated in that day.
+    """
+    codes = classify_store(store)
+    tracked = {"NO_CRED": 1, "FAIL_LOG": 2, "CMD": 4}
+    bit = np.zeros(len(store), dtype=np.uint64)
+    for i, cat in enumerate(CATEGORIES):
+        if cat.value in tracked:
+            bit[codes == i] = tracked[cat.value]
+    mask = bit > 0
+    key = (
+        (store.client_ip[mask].astype(np.uint64) << np.uint64(16))
+        | store.day[mask].astype(np.uint64)
+    )
+    order = np.argsort(key)
+    sorted_key = key[order]
+    sorted_bits = bit[mask][order]
+    # OR the bits within each (ip, day) group.
+    group_start = np.concatenate(([True], sorted_key[1:] != sorted_key[:-1]))
+    group_ids = np.cumsum(group_start) - 1
+    n_groups = group_ids[-1] + 1 if len(group_ids) else 0
+    combo = np.zeros(n_groups, dtype=np.uint64)
+    np.bitwise_or.at(combo, group_ids, sorted_bits)
+    group_day = (sorted_key[group_start] & np.uint64(0xFFFF)).astype(np.int64)
+
+    n_days = store.n_days
+    out: Dict[Tuple[str, ...], np.ndarray] = {}
+    for combo_names in FIG15_COMBOS:
+        combo_bits = np.uint64(sum(tracked[c] for c in combo_names))
+        member = combo == combo_bits
+        out[combo_names] = np.bincount(group_day[member], minlength=n_days)
+    return out
+
+
+def clients_overall_summary(store: SessionStore) -> Dict[str, float]:
+    """Headline client numbers from Section 7."""
+    total = unique_client_count(store)
+    pots_counts = honeypots_per_client(store)
+    days_counts = days_per_client(store)
+    n_pots = store.n_honeypots
+    return {
+        "unique_ips": total,
+        "unique_ases": unique_as_count(store),
+        "share_single_pot": float((pots_counts == 1).mean()) if total else 0.0,
+        "share_over_10_pots": float((pots_counts > 10).mean()) if total else 0.0,
+        "share_over_half_pots": (
+            float((pots_counts > n_pots / 2).mean()) if total else 0.0
+        ),
+        "share_single_day": float((days_counts == 1).mean()) if total else 0.0,
+        "multi_category_share": multi_category_share(store),
+    }

@@ -1,0 +1,154 @@
+"""Regional diversity of client/honeypot interactions (Figures 16, 24).
+
+For every session we classify the geographic relation between the client
+and the honeypot it contacted (same country / same continent / different
+continent), then aggregate per client per day into the combination classes
+the paper plots: most clients only ever touch honeypots outside their own
+continent, while CMD+URI clients show markedly more locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classify import CATEGORIES, classify_store
+from repro.geo.continents import COUNTRY_CONTINENT, Continent
+from repro.store.store import SessionStore
+
+#: Relation bits aggregated per (client, day).
+BIT_SAME_COUNTRY = 1
+BIT_SAME_CONTINENT = 2  # same continent, different country
+BIT_OUT_CONTINENT = 4
+
+COMBO_NAMES: Dict[int, str] = {
+    1: "in-country only",
+    2: "in-continent only",
+    3: "in-country + in-continent",
+    4: "out-of-continent only",
+    5: "in-country + out",
+    6: "in-continent + out",
+    7: "in-country + in-continent + out",
+}
+
+
+def _continent_codes(countries: Sequence[str]) -> np.ndarray:
+    continents = sorted(Continent, key=lambda c: c.value)
+    index = {c: i for i, c in enumerate(continents)}
+    return np.array(
+        [index[COUNTRY_CONTINENT[cc]] if cc in COUNTRY_CONTINENT else -1
+         for cc in countries],
+        dtype=np.int8,
+    )
+
+
+def session_relations(
+    store: SessionStore,
+    pot_countries: Sequence[str],
+    mask: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Per-session relation bit (1, 2 or 4) between client and honeypot."""
+    idx = np.arange(len(store)) if mask is None else np.nonzero(mask)[0]
+    client_country_ids = store.client_country[idx]
+    client_codes = store.countries.values()
+    client_countries = np.array(client_codes, dtype=object)[client_country_ids]
+
+    pot_country_arr = np.array(list(pot_countries), dtype=object)[store.honeypot[idx]]
+
+    same_country = client_countries == pot_country_arr
+
+    client_cont = _continent_codes(list(client_countries))
+    pot_cont = _continent_codes(list(pot_country_arr))
+    same_continent = (client_cont == pot_cont) & (client_cont >= 0)
+
+    relation = np.full(len(idx), BIT_OUT_CONTINENT, dtype=np.uint8)
+    relation[same_continent] = BIT_SAME_CONTINENT
+    relation[same_country] = BIT_SAME_COUNTRY
+    return relation
+
+
+@dataclass
+class DiversityReport:
+    """Figure 16's content: daily combination counts + daily client totals."""
+
+    daily_combos: Dict[int, np.ndarray]  # combo bitmask -> per-day client count
+    daily_clients: np.ndarray
+
+    def share_of(self, combo: int) -> float:
+        """Overall share of client-days in a combination class."""
+        total = sum(int(v.sum()) for v in self.daily_combos.values())
+        if total == 0:
+            return 0.0
+        return int(self.daily_combos.get(combo, np.zeros(1)).sum()) / total
+
+    @property
+    def out_only_share(self) -> float:
+        return self.share_of(BIT_OUT_CONTINENT)
+
+    @property
+    def any_local_share(self) -> float:
+        """Share of client-days touching at least one same-country pot."""
+        return self._share_with_bit(BIT_SAME_COUNTRY)
+
+    @property
+    def any_out_share(self) -> float:
+        """Share of client-days touching at least one off-continent pot."""
+        return self._share_with_bit(BIT_OUT_CONTINENT)
+
+    def _share_with_bit(self, bit: int) -> float:
+        total = sum(int(v.sum()) for v in self.daily_combos.values())
+        if total == 0:
+            return 0.0
+        matching = sum(
+            int(v.sum()) for combo, v in self.daily_combos.items()
+            if combo & bit
+        )
+        return matching / total
+
+
+def regional_diversity(
+    store: SessionStore,
+    pot_countries: Sequence[str],
+    mask: Optional[np.ndarray] = None,
+) -> DiversityReport:
+    """Aggregate session relations per (client, day) into combo classes."""
+    idx_mask = np.ones(len(store), dtype=bool) if mask is None else mask
+    relation = session_relations(store, pot_countries, idx_mask)
+    idx = np.nonzero(idx_mask)[0]
+    key = (
+        (store.client_ip[idx].astype(np.uint64) << np.uint64(16))
+        | store.day[idx].astype(np.uint64)
+    )
+    order = np.argsort(key)
+    sorted_key = key[order]
+    sorted_rel = relation[order]
+    group_start = np.concatenate(([True], sorted_key[1:] != sorted_key[:-1])) \
+        if len(sorted_key) else np.zeros(0, dtype=bool)
+    if not len(sorted_key):
+        return DiversityReport(daily_combos={}, daily_clients=np.zeros(store.n_days))
+    group_ids = np.cumsum(group_start) - 1
+    n_groups = int(group_ids[-1]) + 1
+    combo = np.zeros(n_groups, dtype=np.uint8)
+    np.bitwise_or.at(combo, group_ids, sorted_rel)
+    group_day = (sorted_key[group_start] & np.uint64(0xFFFF)).astype(np.int64)
+
+    n_days = store.n_days
+    daily_combos: Dict[int, np.ndarray] = {}
+    for bits in COMBO_NAMES:
+        member = combo == bits
+        daily_combos[bits] = np.bincount(group_day[member], minlength=n_days)
+    daily_clients = np.bincount(group_day, minlength=n_days)
+    return DiversityReport(daily_combos=daily_combos, daily_clients=daily_clients)
+
+
+def diversity_by_category(
+    store: SessionStore, pot_countries: Sequence[str]
+) -> Dict[str, DiversityReport]:
+    """Figure 24: a diversity report per session category."""
+    codes = classify_store(store)
+    out: Dict[str, DiversityReport] = {}
+    for i, cat in enumerate(CATEGORIES):
+        out[cat.value] = regional_diversity(store, pot_countries, codes == i)
+    return out

@@ -1,0 +1,150 @@
+"""Abuse notification reports (the paper's stated ongoing work).
+
+The conclusion announces plans to "coordinate with the honeyfarm operator
+with the aim to jointly notify networks participating in connections to
+the honeyfarm".  This module builds those notifications: one report per
+origin AS, listing the AS's offending IPs, their behaviours, the involved
+file hashes, and the evidence window — the artefact an operator would mail
+to an abuse contact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.classify import classify_store
+from repro.intel.database import IntelDatabase
+from repro.simulation.clock import day_to_date
+from repro.store.store import SessionStore
+
+
+@dataclass
+class OffendingIp:
+    ip: int
+    n_sessions: int
+    behaviours: List[str]  # scanning / scouting / intrusion
+    first_day: int
+    last_day: int
+    hashes: List[str] = field(default_factory=list)
+
+
+@dataclass
+class AbuseReport:
+    """The per-AS notification artefact."""
+
+    asn: int
+    country: str
+    n_sessions: int
+    window_start: str  # ISO dates, human-readable evidence window
+    window_end: str
+    ips: List[OffendingIp]
+    n_hashes: int
+    tagged_hashes: Dict[str, int]  # threat tag -> hash count
+
+    @property
+    def severity(self) -> str:
+        """Triage label: intrusion evidence outranks scanning volume."""
+        if self.n_hashes > 0:
+            return "critical"
+        if any("intrusion" in ip.behaviours for ip in self.ips):
+            return "high"
+        if any("scouting" in ip.behaviours for ip in self.ips):
+            return "medium"
+        return "low"
+
+    def render(self) -> str:
+        """Plain-text notification body."""
+        lines = [
+            f"Abuse report for AS{self.asn} ({self.country}) "
+            f"[severity: {self.severity}]",
+            f"Evidence window: {self.window_start} .. {self.window_end}",
+            f"Sessions against our honeypot infrastructure: {self.n_sessions:,}",
+            f"Offending addresses: {len(self.ips)}",
+        ]
+        for offender in self.ips[:20]:
+            from repro.net.ip import format_ip
+            lines.append(
+                f"  {format_ip(offender.ip)}: {offender.n_sessions:,} sessions, "
+                f"{'/'.join(offender.behaviours)}, "
+                f"{len(offender.hashes)} malware hashes"
+            )
+        if self.n_hashes:
+            tags = ", ".join(f"{tag}: {count}"
+                             for tag, count in sorted(self.tagged_hashes.items()))
+            lines.append(f"Associated file hashes: {self.n_hashes} ({tags})")
+        return "\n".join(lines)
+
+
+_BEHAVIOUR_OF_CODE = {0: "scanning", 1: "scouting", 2: "intrusion",
+                      3: "intrusion", 4: "intrusion"}
+
+
+def build_abuse_reports(
+    store: SessionStore,
+    intel: IntelDatabase,
+    min_sessions: int = 10,
+    top_k_ases: Optional[int] = 50,
+) -> List[AbuseReport]:
+    """One report per origin AS with at least ``min_sessions`` sessions."""
+    codes = classify_store(store)
+    valid = store.client_asn >= 0
+    asns, counts = np.unique(store.client_asn[valid], return_counts=True)
+    order = np.argsort(counts)[::-1]
+    chosen = [int(a) for a, c in zip(asns[order], counts[order])
+              if c >= min_sessions]
+    if top_k_ases is not None:
+        chosen = chosen[:top_k_ases]
+
+    reports: List[AbuseReport] = []
+    for asn in chosen:
+        mask = store.client_asn == asn
+        idx = np.nonzero(mask)[0]
+        n_sessions = len(idx)
+
+        country = store.countries.value_of(int(store.client_country[idx[0]]))
+        first_day = int(store.day[idx].min())
+        last_day = int(store.day[idx].max())
+
+        ips: Dict[int, OffendingIp] = {}
+        tagged: Dict[str, int] = {}
+        all_hashes = set()
+        for i in idx:
+            ip = int(store.client_ip[i])
+            offender = ips.get(ip)
+            day = int(store.day[i])
+            behaviour = _BEHAVIOUR_OF_CODE[int(codes[i])]
+            if offender is None:
+                offender = OffendingIp(
+                    ip=ip, n_sessions=0, behaviours=[],
+                    first_day=day, last_day=day,
+                )
+                ips[ip] = offender
+            offender.n_sessions += 1
+            offender.first_day = min(offender.first_day, day)
+            offender.last_day = max(offender.last_day, day)
+            if behaviour not in offender.behaviours:
+                offender.behaviours.append(behaviour)
+            for hash_id in store.hash_ids[int(i)]:
+                sha = store.hashes.value_of(hash_id)
+                if sha not in all_hashes:
+                    all_hashes.add(sha)
+                    tag = intel.tag_of(sha).value
+                    tagged[tag] = tagged.get(tag, 0) + 1
+                if sha not in offender.hashes:
+                    offender.hashes.append(sha)
+
+        offenders = sorted(ips.values(), key=lambda o: -o.n_sessions)
+        reports.append(AbuseReport(
+            asn=asn,
+            country=country,
+            n_sessions=n_sessions,
+            window_start=day_to_date(first_day).isoformat(),
+            window_end=day_to_date(last_day).isoformat(),
+            ips=offenders,
+            n_hashes=len(all_hashes),
+            tagged_hashes=tagged,
+        ))
+    return reports

@@ -1,0 +1,129 @@
+"""Builders for the paper's tables.
+
+* Table 1 — session-category shares, overall and per protocol;
+* Table 2 — most used successful passwords;
+* Table 3 — most popular commands (split at ";" and "|");
+* Tables 4/5/6 — top-20 hashes by sessions / client IPs / active days
+  (thin wrappers over :mod:`repro.core.hashes`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classify import CATEGORIES, Category, classify_store
+from repro.core.hashes import HashOccurrences, HashTableRow, compute_hash_stats, top_hash_table
+from repro.intel.database import IntelDatabase
+from repro.store.store import PROTOCOL_SSH, PROTOCOL_TELNET, SessionStore
+
+
+@dataclass
+class CategoryTable:
+    """Table 1: overall category shares and per-protocol splits."""
+
+    overall: Dict[str, float]  # category -> share of all sessions
+    ssh_share_of_category: Dict[str, float]  # category -> SSH share
+    protocol_totals: Dict[str, float]  # "ssh"/"telnet" -> share of sessions
+
+
+def table1_categories(store: SessionStore) -> CategoryTable:
+    codes = classify_store(store)
+    n = max(len(store), 1)
+    overall: Dict[str, float] = {}
+    ssh_share: Dict[str, float] = {}
+    is_ssh = store.protocol == PROTOCOL_SSH
+    for i, cat in enumerate(CATEGORIES):
+        mask = codes == i
+        count = int(mask.sum())
+        overall[cat.value] = count / n
+        ssh_share[cat.value] = float(is_ssh[mask].mean()) if count else 0.0
+    return CategoryTable(
+        overall=overall,
+        ssh_share_of_category=ssh_share,
+        protocol_totals={
+            "ssh": float(is_ssh.mean()),
+            "telnet": float((store.protocol == PROTOCOL_TELNET).mean()),
+        },
+    )
+
+
+def table2_passwords(store: SessionStore, k: int = 10) -> List[Tuple[str, int]]:
+    """Table 2: top successful passwords by login count."""
+    mask = store.login_success & (store.password_id >= 0)
+    counts = np.bincount(store.password_id[mask], minlength=len(store.passwords))
+    order = np.argsort(counts)[::-1]
+    out: List[Tuple[str, int]] = []
+    for idx in order[:k]:
+        if counts[idx] == 0:
+            break
+        out.append((store.passwords.value_of(int(idx)), int(counts[idx])))
+    return out
+
+
+def failed_usernames(store: SessionStore, k: int = 10) -> List[Tuple[str, int]]:
+    """Most used usernames on failing sessions (Section 6 mentions
+    "nproc", "admin" and "user" at the top)."""
+    codes = classify_store(store)
+    fail = codes == 1
+    mask = fail & (store.username_id >= 0)
+    counts = np.bincount(store.username_id[mask], minlength=len(store.usernames))
+    order = np.argsort(counts)[::-1]
+    out: List[Tuple[str, int]] = []
+    for idx in order[:k]:
+        if counts[idx] == 0:
+            break
+        out.append((store.usernames.value_of(int(idx)), int(counts[idx])))
+    return out
+
+
+def table3_commands(store: SessionStore, k: int = 20) -> List[Tuple[str, int]]:
+    """Table 3: most popular commands, weighted by session occurrences.
+
+    The store interns command scripts, so the count of a command is the sum
+    of sessions over the scripts containing it (commands are already split
+    at ";" and "|" by the shell, matching the paper's method).
+    """
+    script_sessions = np.bincount(
+        store.script_id[store.script_id >= 0], minlength=len(store.scripts)
+    )
+    counter: Counter = Counter()
+    for script_id, sessions in enumerate(script_sessions):
+        if sessions == 0:
+            continue
+        for command in store.scripts[script_id].commands:
+            counter[command] += int(sessions)
+    return counter.most_common(k)
+
+
+def tables_4_5_6(
+    store: SessionStore,
+    intel: IntelDatabase,
+    labels: Optional[Dict[str, str]] = None,
+    k: int = 20,
+) -> Dict[str, List[HashTableRow]]:
+    """The three top-20 hash tables."""
+    occ = HashOccurrences.build(store)
+    stats = compute_hash_stats(occ)
+    return {
+        "by_sessions": top_hash_table(stats, store, intel, "sessions", k, labels),
+        "by_clients": top_hash_table(stats, store, intel, "clients", k, labels),
+        "by_days": top_hash_table(stats, store, intel, "days", k, labels),
+    }
+
+
+def format_table(rows: List[Tuple], headers: List[str]) -> str:
+    """Plain-text table renderer used by the benchmarks."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""SSH client-version analysis.
+
+The honeypot records the client's SSH version string when one is offered
+during the handshake (Section 4).  Related work (Ghiëtte et al., RAID'19)
+fingerprints attack tooling from exactly these strings; this module
+provides the farm-side counterpart: version popularity overall and per
+session category.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classify import CATEGORIES, classify_store
+from repro.store.store import SessionStore
+
+
+def version_counts(
+    store: SessionStore, mask: Optional[np.ndarray] = None
+) -> List[Tuple[str, int]]:
+    """(version, session count) sorted by popularity."""
+    versions = store.version_id if mask is None else store.version_id[mask]
+    versions = versions[versions >= 0]
+    counts = np.bincount(versions, minlength=len(store.versions))
+    order = np.argsort(counts)[::-1]
+    return [
+        (store.versions.value_of(int(i)), int(counts[i]))
+        for i in order
+        if counts[i] > 0
+    ]
+
+
+def versions_by_category(store: SessionStore) -> Dict[str, List[Tuple[str, int]]]:
+    codes = classify_store(store)
+    return {
+        cat.value: version_counts(store, codes == i)
+        for i, cat in enumerate(CATEGORIES)
+    }
+
+
+def version_offer_rate(store: SessionStore) -> float:
+    """Fraction of SSH sessions that offered a client version string."""
+    ssh = store.is_ssh
+    if not ssh.any():
+        return 0.0
+    return float((store.version_id[ssh] >= 0).mean())
+
+
+def distinct_tools(store: SessionStore) -> int:
+    """Number of distinct client version strings observed.
+
+    Ghiëtte et al. identified 49 distinct SSH tools in a month of data;
+    the count here plays the same role for the synthetic trace.
+    """
+    observed = np.unique(store.version_id[store.version_id >= 0])
+    return len(observed)

@@ -1,0 +1,18 @@
+"""The honeyfarm: deployment plan and central collection.
+
+A honeyfarm is a set of honeypots deployed across many networks with
+centralised data collection.  `deployment` builds the studied farm's layout
+(221 identically configured honeypots in 55 countries and 65 ASes, focused
+on residential networks); `collector` is the central sink turning session
+summaries into stored records.
+"""
+
+from repro.farm.deployment import DeploymentPlan, HoneypotSite, build_default_deployment
+from repro.farm.collector import FarmCollector
+
+__all__ = [
+    "DeploymentPlan",
+    "HoneypotSite",
+    "build_default_deployment",
+    "FarmCollector",
+]

@@ -1,0 +1,103 @@
+"""Artifact storage: payloads captured by the honeypot, deduplicated by hash.
+
+Cowrie stores every downloaded/created file under its content hash; the
+farm's 64k unique hashes in the paper are exactly the keys of this store.
+Deduplication statistics (how often the same artifact reappears) are what
+make campaign correlation cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.honeypot.filesystem import hash_content
+
+
+@dataclass
+class Artifact:
+    """One unique captured file."""
+
+    sha256: str
+    size: int
+    content: Optional[bytes]  # may be dropped to save memory
+    first_seen: float
+    last_seen: float
+    times_seen: int = 1
+    sources: set = field(default_factory=set)  # client IPs that produced it
+
+
+class ArtifactStore:
+    """Content-addressed artifact storage with dedup accounting.
+
+    ``keep_content_bytes`` bounds the memory spent retaining payload bytes;
+    artifacts beyond the budget keep only metadata (hash, size, sightings),
+    matching how a long-running deployment prunes its spool.
+    """
+
+    def __init__(self, keep_content_bytes: int = 64 * 1024 * 1024):
+        self._artifacts: Dict[str, Artifact] = {}
+        self.keep_content_bytes = keep_content_bytes
+        self._content_bytes = 0
+        self.total_submissions = 0
+
+    def submit(
+        self,
+        content: bytes,
+        now: float,
+        source_ip: Optional[int] = None,
+    ) -> Artifact:
+        """Store (or re-sight) an artifact; returns its record."""
+        self.total_submissions += 1
+        sha = hash_content(content)
+        artifact = self._artifacts.get(sha)
+        if artifact is None:
+            keep = self._content_bytes + len(content) <= self.keep_content_bytes
+            artifact = Artifact(
+                sha256=sha,
+                size=len(content),
+                content=content if keep else None,
+                first_seen=now,
+                last_seen=now,
+            )
+            if keep:
+                self._content_bytes += len(content)
+            self._artifacts[sha] = artifact
+        else:
+            artifact.times_seen += 1
+            artifact.last_seen = max(artifact.last_seen, now)
+            artifact.first_seen = min(artifact.first_seen, now)
+        if source_ip is not None:
+            artifact.sources.add(source_ip)
+        return artifact
+
+    def get(self, sha256: str) -> Optional[Artifact]:
+        return self._artifacts.get(sha256)
+
+    def content(self, sha256: str) -> Optional[bytes]:
+        artifact = self._artifacts.get(sha256)
+        return artifact.content if artifact else None
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    def __contains__(self, sha256: str) -> bool:
+        return sha256 in self._artifacts
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Submissions per unique artifact (1.0 = no reuse)."""
+        if not self._artifacts:
+            return 0.0
+        return self.total_submissions / len(self._artifacts)
+
+    def artifacts(self) -> List[Artifact]:
+        return list(self._artifacts.values())
+
+    def top_by_sightings(self, k: int = 10) -> List[Artifact]:
+        return sorted(self._artifacts.values(),
+                      key=lambda a: -a.times_seen)[:k]
+
+    def singletons(self) -> List[Artifact]:
+        """Artifacts seen exactly once (the long tail of the paper)."""
+        return [a for a in self._artifacts.values() if a.times_seen == 1]

@@ -1,0 +1,28 @@
+"""The honeypot's emulated Unix shell.
+
+After a successful login the client sees a busybox-like shell.  Commands the
+shell knows are emulated (and their effects — file writes, downloads — are
+recorded); commands it does not know are recorded verbatim as "unknown", the
+exact behaviour the paper describes for the deployed honeypot software.
+"""
+
+from repro.honeypot.shell.parser import SimpleCommand, split_command_line
+from repro.honeypot.shell.context import ShellContext, DownloadRecord, FileChange
+from repro.honeypot.shell.resolver import UriResolver, StaticPayloadResolver
+from repro.honeypot.shell.shell import CommandRecord, EmulatedShell, ExecutionResult
+from repro.honeypot.shell.base import CommandRegistry, default_registry
+
+__all__ = [
+    "SimpleCommand",
+    "split_command_line",
+    "ShellContext",
+    "DownloadRecord",
+    "FileChange",
+    "UriResolver",
+    "StaticPayloadResolver",
+    "CommandRecord",
+    "EmulatedShell",
+    "ExecutionResult",
+    "CommandRegistry",
+    "default_registry",
+]

@@ -1,0 +1,66 @@
+"""Command abstraction and registry for the emulated shell."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.honeypot.shell.context import ShellContext
+from repro.honeypot.shell.parser import SimpleCommand
+
+#: A command implementation: (context, command) -> output text.
+CommandFunc = Callable[[ShellContext, SimpleCommand], str]
+
+
+class CommandRegistry:
+    """Maps command names to emulation functions.
+
+    A name present in the registry is a "known" command (emulated); anything
+    else is recorded as "unknown" — mirroring how the deployed honeypot
+    software classifies client input.
+    """
+
+    def __init__(self) -> None:
+        self._commands: Dict[str, CommandFunc] = {}
+
+    def register(self, name: str, func: Optional[CommandFunc] = None):
+        """Register a command, usable directly or as a decorator."""
+        if func is not None:
+            self._commands[name] = func
+            return func
+
+        def decorator(f: CommandFunc) -> CommandFunc:
+            self._commands[name] = f
+            return f
+
+        return decorator
+
+    def alias(self, existing: str, *names: str) -> None:
+        func = self._commands[existing]
+        for name in names:
+            self._commands[name] = func
+
+    def lookup(self, name: str) -> Optional[CommandFunc]:
+        # Commands invoked via absolute path (/bin/busybox) resolve by basename.
+        return self._commands.get(name.rsplit("/", 1)[-1])
+
+    def is_known(self, name: str) -> bool:
+        return self.lookup(name) is not None
+
+    def names(self) -> List[str]:
+        return sorted(self._commands)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+
+_default: Optional[CommandRegistry] = None
+
+
+def default_registry() -> CommandRegistry:
+    """The shared registry with all built-in commands registered."""
+    global _default
+    if _default is None:
+        from repro.honeypot.shell import commands as _commands
+
+        _default = _commands.build_registry()
+    return _default

@@ -1,0 +1,24 @@
+"""Built-in emulated commands.
+
+Grouped by theme: system information, file manipulation, networking
+(droppers), and session/system control.  `build_registry()` assembles the
+full :class:`~repro.honeypot.shell.base.CommandRegistry` used by default.
+"""
+
+from __future__ import annotations
+
+from repro.honeypot.shell.base import CommandRegistry
+from repro.honeypot.shell.commands import control, files, info, network, text
+
+
+def build_registry() -> CommandRegistry:
+    registry = CommandRegistry()
+    info.register(registry)
+    files.register(registry)
+    network.register(registry)
+    control.register(registry)
+    text.register(registry)
+    return registry
+
+
+__all__ = ["build_registry"]

@@ -1,0 +1,170 @@
+"""System-information commands.
+
+These dominate the paper's Table 3: intruders fingerprint the machine with
+``uname``, ``free``, ``w``, ``cat /proc/cpuinfo``, ``nproc`` & co. before
+deciding whether to deploy a payload.
+"""
+
+from __future__ import annotations
+
+from repro.honeypot.shell.base import CommandRegistry
+from repro.honeypot.shell.context import ShellContext
+from repro.honeypot.shell.parser import SimpleCommand
+
+UNAME_FULL = (
+    "Linux localhost 4.14.98 #1 SMP Mon Jan 21 22:55:52 UTC 2019 armv7l GNU/Linux"
+)
+
+FREE_OUTPUT = (
+    "              total        used        free      shared  buff/cache   available\n"
+    "Mem:         254696       73456      181240        1068       38912      170200\n"
+    "Swap:             0           0           0"
+)
+
+W_OUTPUT = (
+    " 03:14:07 up 13 days,  4:22,  1 user,  load average: 0.08, 0.03, 0.01\n"
+    "USER     TTY      FROM             LOGIN@   IDLE   JCPU   PCPU WHAT\n"
+    "root     pts/0    -                03:14    0.00s  0.02s  0.00s w"
+)
+
+PS_OUTPUT = (
+    "  PID TTY          TIME CMD\n"
+    "    1 ?        00:00:04 init\n"
+    "  842 ?        00:00:00 sshd\n"
+    " 1021 pts/0    00:00:00 sh\n"
+    " 1043 pts/0    00:00:00 ps"
+)
+
+LSCPU_OUTPUT = (
+    "Architecture:        armv7l\n"
+    "Byte Order:          Little Endian\n"
+    "CPU(s):              1\n"
+    "Model name:          ARMv7 Processor rev 5 (v7l)\n"
+    "BogoMIPS:            38.40"
+)
+
+DF_OUTPUT = (
+    "Filesystem     1K-blocks   Used Available Use% Mounted on\n"
+    "/dev/root        7361944 941712   6067520  14% /\n"
+    "tmpfs             127348      0    127348   0% /tmp"
+)
+
+IFCONFIG_OUTPUT = (
+    "eth0      Link encap:Ethernet  HWaddr 52:54:00:12:34:56\n"
+    "          inet addr:192.168.1.107  Bcast:192.168.1.255  Mask:255.255.255.0\n"
+    "          UP BROADCAST RUNNING MULTICAST  MTU:1500  Metric:1"
+)
+
+
+def _uname(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    args = set(cmd.argv[1:])
+    if not args:
+        return "Linux"
+    if "-a" in args or "--all" in args:
+        return UNAME_FULL
+    out = []
+    if "-s" in args:
+        out.append("Linux")
+    if "-n" in args:
+        out.append(ctx.hostname)
+    if "-r" in args:
+        out.append("4.14.98")
+    if "-m" in args or "-p" in args:
+        out.append("armv7l")
+    if "-o" in args:
+        out.append("GNU/Linux")
+    return " ".join(out) if out else "Linux"
+
+
+def _free(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return FREE_OUTPUT
+
+
+def _w(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return W_OUTPUT
+
+
+def _whoami(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return ctx.env.get("USER", "root")
+
+
+def _id(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return "uid=0(root) gid=0(root) groups=0(root)"
+
+
+def _hostname(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return ctx.hostname
+
+
+def _uptime(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return " 03:14:07 up 13 days,  4:22,  1 user,  load average: 0.08, 0.03, 0.01"
+
+
+def _nproc(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return "1"
+
+
+def _ps(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return PS_OUTPUT
+
+
+def _top(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return "top - 03:14:07 up 13 days,  1 user,  load average: 0.08, 0.03, 0.01\n" + PS_OUTPUT
+
+
+def _lscpu(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return LSCPU_OUTPUT
+
+
+def _df(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return DF_OUTPUT
+
+
+def _du(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return "16\t."
+
+
+def _ifconfig(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return IFCONFIG_OUTPUT
+
+
+def _env(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return "\n".join(f"{k}={v}" for k, v in sorted(ctx.env.items()))
+
+
+def _history(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    # Cleared histories are what bots want to see.
+    if cmd.argv[1:2] == ["-c"]:
+        return ""
+    return "    1  history"
+
+
+def _netstat(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return (
+        "Active Internet connections (w/o servers)\n"
+        "Proto Recv-Q Send-Q Local Address           Foreign Address         State\n"
+        "tcp        0      0 192.168.1.107:22        10.0.0.5:53410          ESTABLISHED"
+    )
+
+
+def register(registry: CommandRegistry) -> None:
+    registry.register("uname", _uname)
+    registry.register("free", _free)
+    registry.register("w", _w)
+    registry.register("who", _w)
+    registry.register("whoami", _whoami)
+    registry.register("id", _id)
+    registry.register("hostname", _hostname)
+    registry.register("uptime", _uptime)
+    registry.register("nproc", _nproc)
+    registry.register("ps", _ps)
+    registry.register("top", _top)
+    registry.register("lscpu", _lscpu)
+    registry.register("df", _df)
+    registry.register("du", _du)
+    registry.register("ifconfig", _ifconfig)
+    registry.register("ip", _ifconfig)
+    registry.register("env", _env)
+    registry.register("printenv", _env)
+    registry.register("history", _history)
+    registry.register("netstat", _netstat)

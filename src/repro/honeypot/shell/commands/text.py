@@ -1,0 +1,121 @@
+"""Text-processing commands.
+
+The paper's Table 3 shows pipelines such as ``cat /proc/cpuinfo | grep
+name | wc -l`` — intruders count cores and parse memory through classic
+text tools.  The shell splits pipelines into stages, so these emulations
+operate on the *file arguments* they receive (or return plausible values
+for the bare pipeline-stage form).
+"""
+
+from __future__ import annotations
+
+from repro.honeypot.shell.base import CommandRegistry
+from repro.honeypot.shell.context import ShellContext
+from repro.honeypot.shell.parser import SimpleCommand
+
+
+def _read_args(ctx: ShellContext, cmd: SimpleCommand) -> list:
+    texts = []
+    for path in cmd.argv[1:]:
+        if path.startswith("-"):
+            continue
+        try:
+            texts.append(ctx.fs.read(path).decode("utf-8", "replace"))
+        except (FileNotFoundError, IsADirectoryError):
+            pass
+    return texts
+
+
+def _wc(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    texts = _read_args(ctx, cmd)
+    if not texts:
+        # Bare pipeline stage (`... | wc -l`): the canonical core count.
+        return "1"
+    text = "".join(texts)
+    lines = text.count("\n")
+    words = len(text.split())
+    chars = len(text)
+    if "-l" in cmd.argv:
+        return str(lines)
+    if "-w" in cmd.argv:
+        return str(words)
+    if "-c" in cmd.argv:
+        return str(chars)
+    return f"{lines} {words} {chars}"
+
+
+def _sort(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    texts = _read_args(ctx, cmd)
+    if not texts:
+        return ""
+    lines = "".join(texts).splitlines()
+    reverse = "-r" in cmd.argv
+    return "\n".join(sorted(lines, reverse=reverse))
+
+
+def _uniq(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    texts = _read_args(ctx, cmd)
+    if not texts:
+        return ""
+    out = []
+    previous = None
+    for line in "".join(texts).splitlines():
+        if line != previous:
+            out.append(line)
+        previous = line
+    return "\n".join(out)
+
+
+def _cut(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return ""
+
+
+def _tr(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return ""
+
+
+def _sed(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    return ""
+
+
+def _md5sum(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    import hashlib
+
+    outputs = []
+    for path in cmd.argv[1:]:
+        if path.startswith("-"):
+            continue
+        try:
+            content = ctx.fs.read(path)
+        except (FileNotFoundError, IsADirectoryError):
+            outputs.append(f"md5sum: {path}: No such file or directory")
+            continue
+        outputs.append(f"{hashlib.md5(content).hexdigest()}  {path}")
+    return "\n".join(outputs)
+
+
+def _base64(ctx: ShellContext, cmd: SimpleCommand) -> str:
+    import base64 as b64
+
+    decode = "-d" in cmd.argv or "--decode" in cmd.argv
+    texts = _read_args(ctx, cmd)
+    if not texts:
+        return ""
+    raw = "".join(texts).encode("utf-8")
+    try:
+        out = b64.b64decode(raw) if decode else b64.b64encode(raw)
+    except Exception:
+        return "base64: invalid input"
+    return out.decode("utf-8", "replace").rstrip("\n")
+
+
+def register(registry: CommandRegistry) -> None:
+    registry.register("wc", _wc)
+    registry.register("sort", _sort)
+    registry.register("uniq", _uniq)
+    registry.register("cut", _cut)
+    registry.register("tr", _tr)
+    registry.register("sed", _sed)
+    registry.register("md5sum", _md5sum)
+    registry.register("sha256sum", _md5sum)
+    registry.register("base64", _base64)

@@ -1,0 +1,119 @@
+"""Command-line parsing for the emulated shell.
+
+A client input line may chain several simple commands with ``;``, ``&&``,
+``||`` and ``|``.  The paper's command analysis splits recorded command
+strings at ``;`` and ``|``; the shell does the same split at execution time,
+so one input line yields one recorded command per stage.  Each simple
+command is tokenised with quote handling and may carry ``>``/``>>`` output
+redirection.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class SimpleCommand:
+    """One pipeline stage: argv, original text, optional redirection."""
+
+    text: str
+    argv: List[str] = field(default_factory=list)
+    redirect_path: Optional[str] = None
+    redirect_append: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.argv[0] if self.argv else ""
+
+
+_SEPARATORS = (";", "&&", "||", "|")
+
+
+def _split_top_level(line: str) -> List[str]:
+    """Split a line at top-level separators, respecting quotes."""
+    parts: List[str] = []
+    buf: List[str] = []
+    quote: Optional[str] = None
+    i = 0
+    n = len(line)
+    while i < n:
+        ch = line[i]
+        if quote:
+            buf.append(ch)
+            if ch == quote:
+                quote = None
+            i += 1
+            continue
+        if ch in ("'", '"', "`"):
+            quote = ch
+            buf.append(ch)
+            i += 1
+            continue
+        if line.startswith("&&", i) or line.startswith("||", i):
+            parts.append("".join(buf))
+            buf = []
+            i += 2
+            continue
+        if ch in (";", "|", "\n"):
+            parts.append("".join(buf))
+            buf = []
+            i += 1
+            continue
+        if ch == "&" and not line.startswith("&&", i):
+            # trailing background '&': drop the ampersand, keep the command
+            i += 1
+            continue
+        buf.append(ch)
+        i += 1
+    parts.append("".join(buf))
+    return [p.strip() for p in parts if p.strip()]
+
+
+def _parse_simple(text: str) -> SimpleCommand:
+    redirect_path: Optional[str] = None
+    redirect_append = False
+    body = text
+    # Find an unquoted > or >> (scan right to left so `echo x > y` works).
+    quote: Optional[str] = None
+    redir_idx = -1
+    for i, ch in enumerate(body):
+        if quote:
+            if ch == quote:
+                quote = None
+            continue
+        if ch in ("'", '"', "`"):
+            quote = ch
+        elif ch == ">":
+            redir_idx = i
+            break
+    if redir_idx >= 0:
+        target = body[redir_idx:]
+        body = body[:redir_idx]
+        if target.startswith(">>"):
+            redirect_append = True
+            target = target[2:]
+        else:
+            target = target[1:]
+        redirect_path = target.strip().split()[0] if target.strip() else None
+    try:
+        argv = shlex.split(body, posix=True)
+    except ValueError:
+        argv = body.split()
+    return SimpleCommand(
+        text=text.strip(),
+        argv=argv,
+        redirect_path=redirect_path,
+        redirect_append=redirect_append,
+    )
+
+
+def split_command_line(line: str) -> List[SimpleCommand]:
+    """Split one input line into its simple commands.
+
+    >>> [c.name for c in split_command_line("uname -a; free -m | grep Mem")]
+    ['uname', 'free', 'grep']
+    """
+    return [_parse_simple(part) for part in _split_top_level(line)]

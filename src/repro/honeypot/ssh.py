@@ -1,0 +1,159 @@
+"""SSH handshake modelling and client fingerprinting.
+
+The dataset records the client's SSH version string from the handshake;
+related work (Ghiëtte et al., RAID'19) goes further and fingerprints the
+*algorithm negotiation* (the basis of the HASSH fingerprint).  This module
+models both: a key-exchange negotiation between the honeypot's server
+profile and a client profile, and the HASSH-style digest of the client's
+offered algorithm lists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+SERVER_KEX = [
+    "curve25519-sha256", "ecdh-sha2-nistp256", "diffie-hellman-group14-sha256",
+    "diffie-hellman-group14-sha1",
+]
+SERVER_CIPHERS = ["chacha20-poly1305@openssh.com", "aes128-ctr", "aes256-ctr",
+                  "aes128-cbc"]
+SERVER_MACS = ["umac-64-etm@openssh.com", "hmac-sha2-256", "hmac-sha1"]
+SERVER_COMPRESSION = ["none", "zlib@openssh.com"]
+
+
+@dataclass(frozen=True)
+class SshClientProfile:
+    """Algorithm lists a client offers during KEXINIT."""
+
+    version: str
+    kex: Tuple[str, ...]
+    ciphers: Tuple[str, ...]
+    macs: Tuple[str, ...]
+    compression: Tuple[str, ...] = ("none",)
+
+    @property
+    def hassh(self) -> str:
+        """HASSH-style MD5 over the client's offered algorithm lists."""
+        material = ";".join([
+            ",".join(self.kex),
+            ",".join(self.ciphers),
+            ",".join(self.macs),
+            ",".join(self.compression),
+        ])
+        return hashlib.md5(material.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class NegotiationResult:
+    success: bool
+    kex: str = ""
+    cipher: str = ""
+    mac: str = ""
+    compression: str = ""
+    failure_reason: str = ""
+
+
+#: Client profiles for the common attack tooling stacks.
+KNOWN_CLIENT_PROFILES: Dict[str, SshClientProfile] = {
+    "SSH-2.0-libssh2_1.4.3": SshClientProfile(
+        version="SSH-2.0-libssh2_1.4.3",
+        kex=("diffie-hellman-group14-sha1", "diffie-hellman-group1-sha1"),
+        ciphers=("aes128-ctr", "aes128-cbc", "3des-cbc"),
+        macs=("hmac-sha1", "hmac-md5"),
+    ),
+    "SSH-2.0-libssh2_1.8.0": SshClientProfile(
+        version="SSH-2.0-libssh2_1.8.0",
+        kex=("ecdh-sha2-nistp256", "diffie-hellman-group14-sha1"),
+        ciphers=("aes128-ctr", "aes256-ctr"),
+        macs=("hmac-sha2-256", "hmac-sha1"),
+    ),
+    "SSH-2.0-Go": SshClientProfile(
+        version="SSH-2.0-Go",
+        kex=("curve25519-sha256", "ecdh-sha2-nistp256"),
+        ciphers=("chacha20-poly1305@openssh.com", "aes128-ctr"),
+        macs=("hmac-sha2-256",),
+    ),
+    "SSH-2.0-paramiko_2.7.2": SshClientProfile(
+        version="SSH-2.0-paramiko_2.7.2",
+        kex=("curve25519-sha256", "diffie-hellman-group14-sha256"),
+        ciphers=("aes128-ctr", "aes256-ctr"),
+        macs=("hmac-sha2-256", "hmac-sha1"),
+    ),
+    "SSH-2.0-PUTTY": SshClientProfile(
+        version="SSH-2.0-PUTTY",
+        kex=("ecdh-sha2-nistp256", "diffie-hellman-group14-sha1"),
+        ciphers=("aes256-ctr", "aes128-cbc"),
+        macs=("hmac-sha2-256", "hmac-sha1"),
+    ),
+    "SSH-2.0-JSCH-0.1.54": SshClientProfile(
+        version="SSH-2.0-JSCH-0.1.54",
+        kex=("diffie-hellman-group14-sha1", "diffie-hellman-group1-sha1"),
+        ciphers=("aes128-ctr", "3des-cbc"),
+        macs=("hmac-sha1", "hmac-md5"),
+    ),
+    # A legacy-only bot stack that fails against the modern server profile.
+    "SSH-2.0-sshlib-0.1": SshClientProfile(
+        version="SSH-2.0-sshlib-0.1",
+        kex=("diffie-hellman-group1-sha1",),
+        ciphers=("3des-cbc", "blowfish-cbc"),
+        macs=("hmac-md5",),
+    ),
+}
+
+
+def negotiate(
+    client: SshClientProfile,
+    server_kex: Optional[List[str]] = None,
+    server_ciphers: Optional[List[str]] = None,
+    server_macs: Optional[List[str]] = None,
+) -> NegotiationResult:
+    """RFC 4253 §7.1 negotiation: first client algorithm the server knows."""
+    server_kex = server_kex or SERVER_KEX
+    server_ciphers = server_ciphers or SERVER_CIPHERS
+    server_macs = server_macs or SERVER_MACS
+
+    def pick(client_list, server_list, what) -> Tuple[str, str]:
+        for algorithm in client_list:
+            if algorithm in server_list:
+                return algorithm, ""
+        return "", f"no common {what}"
+
+    kex, err = pick(client.kex, server_kex, "kex algorithm")
+    if err:
+        return NegotiationResult(False, failure_reason=err)
+    cipher, err = pick(client.ciphers, server_ciphers, "cipher")
+    if err:
+        return NegotiationResult(False, failure_reason=err)
+    mac, err = pick(client.macs, server_macs, "mac")
+    if err:
+        return NegotiationResult(False, failure_reason=err)
+    compression, err = pick(client.compression, SERVER_COMPRESSION,
+                            "compression")
+    if err:
+        return NegotiationResult(False, failure_reason=err)
+    return NegotiationResult(True, kex=kex, cipher=cipher, mac=mac,
+                             compression=compression)
+
+
+def hassh_of(version: str) -> Optional[str]:
+    """HASSH fingerprint for a known client version string."""
+    profile = KNOWN_CLIENT_PROFILES.get(version)
+    return profile.hassh if profile else None
+
+
+def fingerprint_census(versions: List[str]) -> Dict[str, int]:
+    """Count sessions per HASSH fingerprint (unknown stacks excluded).
+
+    Distinct version strings can share a fingerprint (same library, new
+    banner), which is exactly why related work prefers HASSH over banner
+    strings for tool attribution.
+    """
+    census: Dict[str, int] = {}
+    for version in versions:
+        fp = hassh_of(version)
+        if fp is not None:
+            census[fp] = census.get(fp, 0) + 1
+    return census

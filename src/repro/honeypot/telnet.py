@@ -1,0 +1,133 @@
+"""Telnet front-end: option negotiation and the login-prompt flow.
+
+A quarter of the farm's sessions arrive over Telnet (Table 1).  Unlike
+SSH, Telnet has no structured auth exchange: the honeypot plays a
+login/password prompt dialogue after a minimal IAC option negotiation.
+This module models both, driving the same session state machine as SSH.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.honeypot.session import HoneypotSession
+
+IAC = 255  # Interpret As Command
+DONT, DO, WONT, WILL = 254, 253, 252, 251
+
+OPT_ECHO = 1
+OPT_SUPPRESS_GO_AHEAD = 3
+OPT_TERMINAL_TYPE = 24
+OPT_NAWS = 31  # window size
+
+#: Options the honeypot server is willing to enable.
+SERVER_WILL = {OPT_ECHO, OPT_SUPPRESS_GO_AHEAD}
+#: Options the honeypot asks the client to enable.
+SERVER_DO = {OPT_TERMINAL_TYPE, OPT_NAWS}
+
+LOGIN_PROMPT = "login: "
+PASSWORD_PROMPT = "Password: "
+LOGIN_FAILED_BANNER = "Login incorrect"
+MOTD = "\r\nBusyBox v1.24.1 built-in shell (ash)\r\n\r\n"
+
+
+class TelnetPhase(enum.Enum):
+    NEGOTIATING = "negotiating"
+    LOGIN = "login"
+    PASSWORD = "password"
+    SHELL = "shell"
+    CLOSED = "closed"
+
+
+@dataclass
+class NegotiationRecord:
+    """One IAC exchange (command, option, our response)."""
+
+    command: int
+    option: int
+    response: int
+
+
+@dataclass
+class TelnetFrontend:
+    """Prompt-dialogue wrapper around a honeypot session.
+
+    Feed client input via :meth:`client_says`; the frontend handles the
+    login/password prompt sequencing and forwards credentials and shell
+    lines to the underlying :class:`HoneypotSession`.
+    """
+
+    session: HoneypotSession
+    phase: TelnetPhase = TelnetPhase.NEGOTIATING
+    negotiations: List[NegotiationRecord] = field(default_factory=list)
+    _pending_username: str = ""
+    transcript: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.transcript.append(self._negotiate_banner())
+        self.phase = TelnetPhase.LOGIN
+        self.transcript.append(LOGIN_PROMPT)
+
+    # -- IAC negotiation -----------------------------------------------------
+
+    def _negotiate_banner(self) -> str:
+        return ""  # negotiation is byte-level; text banner comes after
+
+    def receive_iac(self, command: int, option: int) -> int:
+        """Respond to one client IAC command; returns our response verb."""
+        if command == DO:
+            response = WILL if option in SERVER_WILL else WONT
+        elif command == WILL:
+            response = DO if option in SERVER_DO else DONT
+        elif command in (DONT, WONT):
+            response = WONT if command == DONT else DONT
+        else:
+            raise ValueError(f"unknown IAC command {command}")
+        self.negotiations.append(NegotiationRecord(command, option, response))
+        return response
+
+    # -- prompt dialogue ---------------------------------------------------------
+
+    def client_says(self, line: str, now: float) -> str:
+        """Process one line of client input; returns the honeypot's reply."""
+        if self.phase is TelnetPhase.CLOSED or self.session.is_closed:
+            self.phase = TelnetPhase.CLOSED
+            return ""
+
+        if self.phase is TelnetPhase.LOGIN:
+            self._pending_username = line.strip()
+            self.phase = TelnetPhase.PASSWORD
+            self.transcript.append(PASSWORD_PROMPT)
+            return PASSWORD_PROMPT
+
+        if self.phase is TelnetPhase.PASSWORD:
+            result = self.session.try_login(self._pending_username, line, now)
+            self._pending_username = ""
+            if result.success:
+                self.phase = TelnetPhase.SHELL
+                self.transcript.append(MOTD)
+                return MOTD
+            if self.session.is_closed:
+                self.phase = TelnetPhase.CLOSED
+                return LOGIN_FAILED_BANNER + "\r\n"
+            self.phase = TelnetPhase.LOGIN
+            reply = LOGIN_FAILED_BANNER + "\r\n" + LOGIN_PROMPT
+            self.transcript.append(reply)
+            return reply
+
+        # Shell phase: forward to the emulated shell.
+        result = self.session.input_line(line, now)
+        output = "\r\n".join(
+            record.output for record in result.commands if record.output
+        )
+        if result.exit_requested:
+            self.phase = TelnetPhase.CLOSED
+        self.transcript.append(output)
+        return output
+
+    def hang_up(self, now: float) -> None:
+        if not self.session.is_closed:
+            self.session.client_disconnect(now)
+        self.phase = TelnetPhase.CLOSED

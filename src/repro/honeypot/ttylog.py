@@ -1,0 +1,132 @@
+"""TTY transcript logging and replay.
+
+Cowrie records a timestamped transcript of every shell session (its
+"ttylog"), which operators replay to watch an intrusion as it happened.
+This module reproduces that: a :class:`TtyLog` collects timestamped
+input/output entries during a session, serialises to a compact JSON-lines
+format, and replays at configurable speed.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Iterator, List, Optional, Union
+
+
+class TtyDirection(enum.Enum):
+    INPUT = "in"  # keystrokes from the client
+    OUTPUT = "out"  # honeypot responses
+
+
+@dataclass(frozen=True)
+class TtyEntry:
+    timestamp: float
+    direction: TtyDirection
+    data: str
+
+    def to_dict(self) -> dict:
+        return {"t": self.timestamp, "d": self.direction.value, "x": self.data}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "TtyEntry":
+        return cls(
+            timestamp=float(raw["t"]),
+            direction=TtyDirection(raw["d"]),
+            data=raw["x"],
+        )
+
+
+@dataclass
+class TtyLog:
+    """Transcript of one session."""
+
+    session_id: str
+    entries: List[TtyEntry] = field(default_factory=list)
+
+    def record_input(self, now: float, data: str) -> None:
+        self.entries.append(TtyEntry(now, TtyDirection.INPUT, data))
+
+    def record_output(self, now: float, data: str) -> None:
+        if data:
+            self.entries.append(TtyEntry(now, TtyDirection.OUTPUT, data))
+
+    @property
+    def duration(self) -> float:
+        if len(self.entries) < 2:
+            return 0.0
+        return self.entries[-1].timestamp - self.entries[0].timestamp
+
+    @property
+    def input_lines(self) -> List[str]:
+        return [e.data for e in self.entries if e.direction is TtyDirection.INPUT]
+
+    # -- persistence ---------------------------------------------------------
+
+    def dump(self, path: Union[str, Path]) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"session": self.session_id}) + "\n")
+            for entry in self.entries:
+                fh.write(json.dumps(entry.to_dict()) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TtyLog":
+        with open(path, encoding="utf-8") as fh:
+            header = json.loads(fh.readline())
+            entries = [TtyEntry.from_dict(json.loads(line))
+                       for line in fh if line.strip()]
+        return cls(session_id=header["session"], entries=entries)
+
+    # -- replay ----------------------------------------------------------------
+
+    def replay(
+        self,
+        write: Callable[[str], None],
+        speed: float = 0.0,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> int:
+        """Replay the transcript through ``write``.
+
+        ``speed`` > 0 replays in (scaled) real time using ``sleep``;
+        speed 0 dumps instantly.  Returns the number of entries replayed.
+        """
+        previous: Optional[float] = None
+        count = 0
+        for entry in self.entries:
+            if speed > 0 and sleep is not None and previous is not None:
+                delay = (entry.timestamp - previous) / speed
+                if delay > 0:
+                    sleep(delay)
+            previous = entry.timestamp
+            prefix = "$ " if entry.direction is TtyDirection.INPUT else ""
+            write(prefix + entry.data + "\n")
+            count += 1
+        return count
+
+    def __iter__(self) -> Iterator[TtyEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def attach_ttylog(session) -> TtyLog:
+    """Wrap a live HoneypotSession so its shell IO is transcribed.
+
+    Monkey-patches the session's ``input_line`` to record both the client
+    input and the emulated output. Returns the live :class:`TtyLog`.
+    """
+    log = TtyLog(session_id=session.session_id)
+    original = session.input_line
+
+    def wrapped(line: str, now: float):
+        log.record_input(now, line)
+        result = original(line, now)
+        for record in result.commands:
+            log.record_output(now, record.output)
+        return result
+
+    session.input_line = wrapped
+    return log

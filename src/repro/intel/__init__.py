@@ -1,0 +1,13 @@
+"""Synthetic threat-intelligence substrate.
+
+The paper cross-checks the 64k observed file hashes against VirusTotal
+(finding information for fewer than 1,000 of them) plus manual checks in
+ClamAV, FileScan.IO, InQuest, CERT.PL MWDB and YOROI YOMI for the popular
+hashes.  We reproduce that surface with a hash->tag database populated by
+the workload's campaigns, including the characteristic low coverage rate.
+"""
+
+from repro.intel.tags import ThreatTag
+from repro.intel.database import IntelDatabase, IntelEntry
+
+__all__ = ["ThreatTag", "IntelDatabase", "IntelEntry"]

@@ -1,0 +1,22 @@
+"""Threat tags used by the paper's hash tables (Tables 4-6, Figure 22)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class ThreatTag(enum.Enum):
+    MIRAI = "mirai"
+    TROJAN = "trojan"
+    MALICIOUS = "malicious"
+    MINER = "miner"
+    SUSPICIOUS = "suspicious"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: Tags that denote a confirmed malware family vs. merely flagged content.
+FAMILY_TAGS = (ThreatTag.MIRAI, ThreatTag.TROJAN, ThreatTag.MINER)
+FLAG_TAGS = (ThreatTag.MALICIOUS, ThreatTag.SUSPICIOUS)

@@ -1,0 +1,139 @@
+"""Address-pool allocation for placing simulated hosts in IPv4 space.
+
+The synthetic geo database (:mod:`repro.geo`) carves the documentation-safe
+ranges of IPv4 space into per-country, per-AS prefixes.  These allocators
+hand out prefixes and individual addresses deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.net.ip import IPv4Prefix
+from repro.simulation.rng import RngStream
+
+
+class PrefixAllocator:
+    """Splits a parent prefix into equally sized child prefixes on demand."""
+
+    def __init__(self, parent: IPv4Prefix, child_length: int):
+        if child_length < parent.length:
+            raise ValueError(
+                f"child /{child_length} larger than parent /{parent.length}"
+            )
+        self.parent = parent
+        self.child_length = child_length
+        self._iter: Iterator[IPv4Prefix] = parent.subnets(child_length)
+        self._allocated: List[IPv4Prefix] = []
+
+    @property
+    def capacity(self) -> int:
+        return 1 << (self.child_length - self.parent.length)
+
+    @property
+    def allocated(self) -> List[IPv4Prefix]:
+        return list(self._allocated)
+
+    def allocate(self) -> IPv4Prefix:
+        try:
+            prefix = next(self._iter)
+        except StopIteration:
+            raise RuntimeError(
+                f"prefix allocator for {self.parent} exhausted "
+                f"({self.capacity} x /{self.child_length})"
+            ) from None
+        self._allocated.append(prefix)
+        return prefix
+
+
+class AddressPool:
+    """Hands out distinct addresses from a set of prefixes.
+
+    Supports both sequential allocation (used for honeypot placement, so the
+    farm layout is stable) and random sampling without replacement (used for
+    attacker populations, so client addresses look scattered inside their
+    origin networks).
+    """
+
+    def __init__(self, prefixes: List[IPv4Prefix]):
+        if not prefixes:
+            raise ValueError("address pool needs at least one prefix")
+        self.prefixes = list(prefixes)
+        self._sizes = [p.num_addresses for p in self.prefixes]
+        self._total = sum(self._sizes)
+        self._next_offset = 0
+        self._used: set = set()
+
+    @property
+    def capacity(self) -> int:
+        return self._total
+
+    @property
+    def used_count(self) -> int:
+        return len(self._used) + self._next_offset
+
+    def _address_at(self, global_offset: int) -> int:
+        for prefix, size in zip(self.prefixes, self._sizes):
+            if global_offset < size:
+                return prefix.address_at(global_offset)
+            global_offset -= size
+        raise IndexError("offset beyond pool capacity")
+
+    def allocate_sequential(self) -> int:
+        """Allocate the next unused address in prefix order."""
+        while self._next_offset < self._total:
+            addr = self._address_at(self._next_offset)
+            self._next_offset += 1
+            if addr not in self._used:
+                return addr
+        raise RuntimeError("address pool exhausted")
+
+    def sample(self, rng: RngStream) -> int:
+        """Sample a random unused address from the pool."""
+        remaining = self._total - self.used_count
+        if remaining <= 0:
+            raise RuntimeError("address pool exhausted")
+        # Rejection-sample; pools are never loaded anywhere near capacity.
+        for _ in range(64):
+            offset = rng.randint(0, self._total)
+            addr = self._address_at(offset)
+            if addr not in self._used:
+                self._used.add(addr)
+                return addr
+        # Dense fallback: walk for a free slot.
+        for offset in range(self._total):
+            addr = self._address_at(offset)
+            if addr not in self._used:
+                self._used.add(addr)
+                return addr
+        raise RuntimeError("address pool exhausted")
+
+    def sample_many(self, rng: RngStream, count: int) -> List[int]:
+        return [self.sample(rng) for _ in range(count)]
+
+    def contains(self, address: int) -> bool:
+        return any(p.contains(address) for p in self.prefixes)
+
+
+class PoolRegistry:
+    """Named address pools (one per simulated AS)."""
+
+    def __init__(self) -> None:
+        self._pools: Dict[str, AddressPool] = {}
+
+    def register(self, name: str, pool: AddressPool) -> None:
+        if name in self._pools:
+            raise ValueError(f"pool {name!r} already registered")
+        self._pools[name] = pool
+
+    def get(self, name: str) -> Optional[AddressPool]:
+        return self._pools.get(name)
+
+    def __getitem__(self, name: str) -> AddressPool:
+        return self._pools[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._pools
+
+    def names(self) -> List[str]:
+        return list(self._pools)

@@ -1,0 +1,119 @@
+"""A minimal TCP connection model.
+
+Each honeyfarm session starts with a completed TCP three-way handshake on
+port 22 (SSH) or 23 (Telnet) — this is what lets the paper treat client
+addresses as non-spoofed.  We model only what the dataset records: handshake
+completion (with RTT-dependent latency), the established state, and the two
+ways a session ends (client FIN/RST vs. honeypot timeout).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.simulation.rng import RngStream
+
+SSH_PORT = 22
+TELNET_PORT = 23
+
+
+class TcpState(enum.Enum):
+    CLOSED = "closed"
+    SYN_SENT = "syn_sent"
+    ESTABLISHED = "established"
+    CLOSED_BY_CLIENT = "closed_by_client"
+    CLOSED_BY_SERVER = "closed_by_server"
+    RESET = "reset"
+
+
+@dataclass
+class HandshakeResult:
+    """Outcome of a three-way handshake attempt."""
+
+    success: bool
+    rtt: float
+    elapsed: float
+
+
+@dataclass
+class TcpConnection:
+    """State of one client↔honeypot TCP connection."""
+
+    client_ip: int
+    client_port: int
+    server_ip: int
+    server_port: int
+    established_at: Optional[float] = None
+    closed_at: Optional[float] = None
+    state: TcpState = field(default=TcpState.CLOSED)
+
+    def establish(self, now: float) -> None:
+        if self.state is not TcpState.CLOSED:
+            raise RuntimeError(f"cannot establish from state {self.state}")
+        self.state = TcpState.ESTABLISHED
+        self.established_at = now
+
+    def close_by_client(self, now: float) -> None:
+        self._close(now, TcpState.CLOSED_BY_CLIENT)
+
+    def close_by_server(self, now: float) -> None:
+        self._close(now, TcpState.CLOSED_BY_SERVER)
+
+    def reset(self, now: float) -> None:
+        self._close(now, TcpState.RESET)
+
+    def _close(self, now: float, state: TcpState) -> None:
+        if self.state is not TcpState.ESTABLISHED:
+            raise RuntimeError(f"cannot close from state {self.state}")
+        self.state = state
+        self.closed_at = now
+
+    @property
+    def is_open(self) -> bool:
+        return self.state is TcpState.ESTABLISHED
+
+    @property
+    def duration(self) -> Optional[float]:
+        if self.established_at is None or self.closed_at is None:
+            return None
+        return self.closed_at - self.established_at
+
+
+class TcpModel:
+    """Generates handshake outcomes with RTT drawn from distance class.
+
+    ``rtt_base`` approximates propagation delay between client and honeypot
+    regions; jitter is lognormal.  Handshakes essentially always succeed in
+    the dataset (only successful ones create sessions), but the model keeps a
+    small loss probability so the interactive path exercises the failure
+    branch too.
+    """
+
+    #: Rough one-way RTT bases (seconds) by geographic relationship.
+    RTT_SAME_COUNTRY = 0.015
+    RTT_SAME_CONTINENT = 0.045
+    RTT_CROSS_CONTINENT = 0.160
+
+    def __init__(self, rng: RngStream, loss_probability: float = 0.002):
+        self.rng = rng
+        self.loss_probability = loss_probability
+
+    def rtt_for(self, same_country: bool, same_continent: bool) -> float:
+        if same_country:
+            base = self.RTT_SAME_COUNTRY
+        elif same_continent:
+            base = self.RTT_SAME_CONTINENT
+        else:
+            base = self.RTT_CROSS_CONTINENT
+        jitter = self.rng.lognormal(0.0, 0.35)
+        return base * jitter
+
+    def handshake(self, same_country: bool = False, same_continent: bool = False) -> HandshakeResult:
+        rtt = self.rtt_for(same_country, same_continent)
+        if self.rng.bernoulli(self.loss_probability):
+            # SYN or SYN-ACK lost and not retried: no session is created.
+            return HandshakeResult(success=False, rtt=rtt, elapsed=3.0)
+        # 1.5 RTT to complete SYN / SYN-ACK / ACK.
+        return HandshakeResult(success=True, rtt=rtt, elapsed=1.5 * rtt)

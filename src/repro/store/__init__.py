@@ -1,0 +1,28 @@
+"""Session-record storage: the honeyfarm's central database.
+
+The farm collector reduces every honeypot session to a summary record; the
+paper's entire analysis runs over ~402 M such records.  To keep paper-scale
+synthetic traces tractable in Python, the store is *columnar*: numeric
+per-session fields live in numpy arrays, and repetitive payloads (command
+scripts, file hashes, passwords, honeypot ids) are interned into side
+tables.  Records go in through a :class:`StoreBuilder` and analyses run
+against the frozen :class:`SessionStore`.
+"""
+
+from repro.store.interning import StringTable
+from repro.store.records import CommandScript, SessionRecord
+from repro.store.store import SessionStore, StoreBuilder
+from repro.store.io import read_jsonl, write_jsonl
+from repro.store.npz import load_npz, save_npz
+
+__all__ = [
+    "StringTable",
+    "CommandScript",
+    "SessionRecord",
+    "SessionStore",
+    "StoreBuilder",
+    "read_jsonl",
+    "write_jsonl",
+    "load_npz",
+    "save_npz",
+]

@@ -1,0 +1,49 @@
+"""String interning tables used by the columnar session store."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+
+class StringTable:
+    """Bidirectional string <-> integer-id mapping.
+
+    Id 0 upward; lookups of unknown strings either raise or intern depending
+    on the call used.  The table is append-only, so ids are stable.
+    """
+
+    def __init__(self, initial: Optional[Iterable[str]] = None):
+        self._strings: List[str] = []
+        self._ids: Dict[str, int] = {}
+        if initial:
+            for s in initial:
+                self.intern(s)
+
+    def intern(self, value: str) -> int:
+        """Return the id of ``value``, adding it if unseen."""
+        existing = self._ids.get(value)
+        if existing is not None:
+            return existing
+        new_id = len(self._strings)
+        self._strings.append(value)
+        self._ids[value] = new_id
+        return new_id
+
+    def id_of(self, value: str) -> int:
+        """Id of an already-interned string (KeyError if unknown)."""
+        return self._ids[value]
+
+    def get_id(self, value: str) -> Optional[int]:
+        return self._ids.get(value)
+
+    def value_of(self, string_id: int) -> str:
+        return self._strings[string_id]
+
+    def __len__(self) -> int:
+        return len(self._strings)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._ids
+
+    def values(self) -> List[str]:
+        return list(self._strings)

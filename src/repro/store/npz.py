@@ -1,0 +1,99 @@
+"""Fast columnar persistence for :class:`SessionStore` (numpy .npz).
+
+JSONL (``repro.store.io``) is the interchange format; this module is the
+fast path for saving/reloading large generated traces: all numeric columns
+are stored as-is, string tables and interned scripts as object arrays, and
+the variable-length per-session hash lists in CSR-style (values +
+offsets).  Round-trips are exact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.store.interning import StringTable
+from repro.store.records import CommandScript
+from repro.store.store import SessionStore
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+_NUMERIC_COLUMNS = (
+    "start_time", "duration", "honeypot", "protocol", "client_ip",
+    "client_asn", "client_country", "n_attempts", "login_success",
+    "script_id", "n_commands", "has_uri", "password_id", "username_id",
+    "close_reason", "version_id",
+)
+
+_TABLES = ("honeypots", "countries", "passwords", "usernames", "hashes",
+           "versions")
+
+
+def save_npz(store: SessionStore, path: PathLike) -> None:
+    """Save a store to ``path`` (.npz)."""
+    arrays = {name: getattr(store, name) for name in _NUMERIC_COLUMNS}
+
+    # Variable-length hash lists -> CSR (values, offsets).
+    lengths = np.fromiter(
+        (len(t) for t in store.hash_ids), dtype=np.int64, count=len(store)
+    )
+    offsets = np.zeros(len(store) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    values = np.fromiter(
+        (h for t in store.hash_ids for h in t), dtype=np.int64,
+        count=int(offsets[-1]),
+    )
+    arrays["hash_values"] = values
+    arrays["hash_offsets"] = offsets
+
+    for table_name in _TABLES:
+        table: StringTable = getattr(store, table_name)
+        arrays[f"table_{table_name}"] = np.array(table.values(), dtype=object)
+
+    scripts_json = json.dumps(
+        [[list(s.commands), list(s.uris)] for s in store.scripts]
+    )
+    arrays["scripts_json"] = np.array([scripts_json], dtype=object)
+    arrays["format_version"] = np.array([_FORMAT_VERSION])
+
+    np.savez_compressed(Path(path), **arrays)
+
+
+def load_npz(path: PathLike) -> SessionStore:
+    """Load a store saved by :func:`save_npz`."""
+    with np.load(Path(path), allow_pickle=True) as data:
+        version = int(data["format_version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported store format version {version}")
+
+        columns = {name: data[name] for name in _NUMERIC_COLUMNS}
+
+        offsets = data["hash_offsets"]
+        values = data["hash_values"]
+        hash_ids = [
+            tuple(int(h) for h in values[offsets[i]:offsets[i + 1]])
+            for i in range(len(offsets) - 1)
+        ]
+
+        tables = {}
+        for table_name in _TABLES:
+            tables[table_name] = StringTable(
+                str(s) for s in data[f"table_{table_name}"]
+            )
+
+        scripts = [
+            CommandScript(commands=tuple(commands), uris=tuple(uris))
+            for commands, uris in json.loads(str(data["scripts_json"][0]))
+        ]
+
+    return SessionStore(
+        hash_ids=hash_ids,
+        scripts=scripts,
+        **columns,
+        **tables,
+    )

@@ -1,0 +1,398 @@
+"""Columnar session store and its builder."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.honeypot.session import CloseReason
+from repro.store.interning import StringTable
+from repro.store.records import CommandScript, SessionRecord
+
+SECONDS_PER_DAY = 86_400
+
+PROTOCOL_SSH = 0
+PROTOCOL_TELNET = 1
+_PROTOCOL_NAMES = ("ssh", "telnet")
+
+_CLOSE_REASONS = tuple(reason.value for reason in CloseReason)
+_CLOSE_REASON_IDS = {name: i for i, name in enumerate(_CLOSE_REASONS)}
+
+
+class StoreBuilder:
+    """Accumulates session records, then freezes them into a SessionStore."""
+
+    def __init__(self) -> None:
+        self.honeypots = StringTable()
+        self.countries = StringTable()
+        self.passwords = StringTable()
+        self.usernames = StringTable()
+        self.hashes = StringTable()
+        self.versions = StringTable()
+        self.scripts: List[CommandScript] = []
+        self._script_ids: dict = {}
+
+        self._start: List[float] = []
+        self._duration: List[float] = []
+        self._honeypot: List[int] = []
+        self._protocol: List[int] = []
+        self._client_ip: List[int] = []
+        self._client_asn: List[int] = []
+        self._client_country: List[int] = []
+        self._n_attempts: List[int] = []
+        self._login_success: List[bool] = []
+        self._script_id: List[int] = []
+        self._password_id: List[int] = []
+        self._username_id: List[int] = []
+        self._close_reason: List[int] = []
+        self._version_id: List[int] = []
+        self._hash_ids: List[Tuple[int, ...]] = []
+
+    def __len__(self) -> int:
+        return len(self._start)
+
+    # -- interning helpers ---------------------------------------------------
+
+    def intern_script(self, commands: Sequence[str], uris: Sequence[str] = ()) -> int:
+        """Intern a command script; returns its id (-1 for empty)."""
+        commands = tuple(commands)
+        uris = tuple(uris)
+        if not commands:
+            return -1
+        key = (commands, uris)
+        existing = self._script_ids.get(key)
+        if existing is not None:
+            return existing
+        script_id = len(self.scripts)
+        self.scripts.append(CommandScript(commands=commands, uris=uris))
+        self._script_ids[key] = script_id
+        return script_id
+
+    # -- append paths ----------------------------------------------------------
+
+    def append(self, record: SessionRecord) -> int:
+        """Append a row-shaped record. Returns its index."""
+        script_id = self.intern_script(record.commands, record.uris)
+        return self.append_interned(
+            start_time=record.start_time,
+            duration=record.duration,
+            honeypot_id=self.honeypots.intern(record.honeypot_id),
+            protocol=(
+                PROTOCOL_SSH if record.protocol == "ssh" else PROTOCOL_TELNET
+            ),
+            client_ip=record.client_ip,
+            client_asn=record.client_asn,
+            client_country_id=self.countries.intern(record.client_country),
+            n_attempts=record.n_login_attempts,
+            login_success=record.login_success,
+            script_id=script_id,
+            password_id=(
+                self.passwords.intern(record.password) if record.password else -1
+            ),
+            username_id=(
+                self.usernames.intern(record.username) if record.username else -1
+            ),
+            hash_ids=tuple(self.hashes.intern(h) for h in record.file_hashes),
+            close_reason_id=_CLOSE_REASON_IDS.get(record.close_reason, 0),
+            version_id=(
+                self.versions.intern(record.client_version)
+                if record.client_version
+                else -1
+            ),
+        )
+
+    def append_interned(
+        self,
+        start_time: float,
+        duration: float,
+        honeypot_id: int,
+        protocol: int,
+        client_ip: int,
+        client_asn: int,
+        client_country_id: int,
+        n_attempts: int,
+        login_success: bool,
+        script_id: int = -1,
+        password_id: int = -1,
+        username_id: int = -1,
+        hash_ids: Tuple[int, ...] = (),
+        close_reason_id: int = 0,
+        version_id: int = -1,
+    ) -> int:
+        """Fast path for bulk generation: all ids pre-interned."""
+        self._start.append(start_time)
+        self._duration.append(duration)
+        self._honeypot.append(honeypot_id)
+        self._protocol.append(protocol)
+        self._client_ip.append(client_ip)
+        self._client_asn.append(client_asn)
+        self._client_country.append(client_country_id)
+        self._n_attempts.append(n_attempts)
+        self._login_success.append(login_success)
+        self._script_id.append(script_id)
+        self._password_id.append(password_id)
+        self._username_id.append(username_id)
+        self._close_reason.append(close_reason_id)
+        self._version_id.append(version_id)
+        self._hash_ids.append(hash_ids)
+        return len(self._start) - 1
+
+    def append_block(
+        self,
+        start_time: Sequence[float],
+        duration: Sequence[float],
+        honeypot_id: Sequence[int],
+        protocol: Sequence[int],
+        client_ip: Sequence[int],
+        client_asn: Sequence[int],
+        client_country_id: Sequence[int],
+        n_attempts: Sequence[int],
+        login_success: Sequence[bool],
+        script_id: Sequence[int],
+        password_id: Sequence[int],
+        username_id: Sequence[int],
+        hash_ids: Sequence[Tuple[int, ...]],
+        close_reason_id: Sequence[int],
+        version_id: Sequence[int],
+    ) -> None:
+        """Bulk append: all sequences must have equal length.
+
+        This is the generator's hot path — column lists are extended
+        directly instead of paying per-row call overhead.
+        """
+        n = len(start_time)
+        for seq in (duration, honeypot_id, protocol, client_ip, client_asn,
+                    client_country_id, n_attempts, login_success, script_id,
+                    password_id, username_id, hash_ids, close_reason_id,
+                    version_id):
+            if len(seq) != n:
+                raise ValueError("append_block sequences must share one length")
+        self._start.extend(float(x) for x in start_time)
+        self._duration.extend(float(x) for x in duration)
+        self._honeypot.extend(int(x) for x in honeypot_id)
+        self._protocol.extend(int(x) for x in protocol)
+        self._client_ip.extend(int(x) for x in client_ip)
+        self._client_asn.extend(int(x) for x in client_asn)
+        self._client_country.extend(int(x) for x in client_country_id)
+        self._n_attempts.extend(int(x) for x in n_attempts)
+        self._login_success.extend(bool(x) for x in login_success)
+        self._script_id.extend(int(x) for x in script_id)
+        self._password_id.extend(int(x) for x in password_id)
+        self._username_id.extend(int(x) for x in username_id)
+        self._close_reason.extend(int(x) for x in close_reason_id)
+        self._version_id.extend(int(x) for x in version_id)
+        self._hash_ids.extend(hash_ids)
+
+    def build(self) -> "SessionStore":
+        """Freeze the accumulated rows into an immutable columnar store."""
+        n_commands = np.zeros(len(self._start), dtype=np.uint16)
+        has_uri = np.zeros(len(self._start), dtype=bool)
+        script_id = np.asarray(self._script_id, dtype=np.int32) if self._start else np.zeros(0, np.int32)
+        if len(self.scripts):
+            script_lengths = np.array(
+                [min(len(s.commands), 65535) for s in self.scripts], dtype=np.uint16
+            )
+            script_has_uri = np.array([s.has_uri for s in self.scripts], dtype=bool)
+            mask = script_id >= 0
+            n_commands[mask] = script_lengths[script_id[mask]]
+            has_uri[mask] = script_has_uri[script_id[mask]]
+        return SessionStore(
+            start_time=np.asarray(self._start, dtype=np.float64),
+            duration=np.asarray(self._duration, dtype=np.float32),
+            honeypot=np.asarray(self._honeypot, dtype=np.int32),
+            protocol=np.asarray(self._protocol, dtype=np.uint8),
+            client_ip=np.asarray(self._client_ip, dtype=np.uint32),
+            client_asn=np.asarray(self._client_asn, dtype=np.int32),
+            client_country=np.asarray(self._client_country, dtype=np.int32),
+            n_attempts=np.asarray(self._n_attempts, dtype=np.uint16),
+            login_success=np.asarray(self._login_success, dtype=bool),
+            script_id=script_id,
+            n_commands=n_commands,
+            has_uri=has_uri,
+            password_id=np.asarray(self._password_id, dtype=np.int32),
+            username_id=np.asarray(self._username_id, dtype=np.int32),
+            close_reason=np.asarray(self._close_reason, dtype=np.uint8),
+            version_id=np.asarray(self._version_id, dtype=np.int32),
+            hash_ids=self._hash_ids,
+            honeypots=self.honeypots,
+            countries=self.countries,
+            passwords=self.passwords,
+            usernames=self.usernames,
+            hashes=self.hashes,
+            versions=self.versions,
+            scripts=list(self.scripts),
+        )
+
+
+class SessionStore:
+    """Immutable columnar store of session records.
+
+    All column attributes are numpy arrays of identical length; side tables
+    resolve interned ids back to strings / scripts.  Row-shaped access is
+    available through :meth:`record` and iteration, but analyses should use
+    the columns.
+    """
+
+    def __init__(
+        self,
+        start_time: np.ndarray,
+        duration: np.ndarray,
+        honeypot: np.ndarray,
+        protocol: np.ndarray,
+        client_ip: np.ndarray,
+        client_asn: np.ndarray,
+        client_country: np.ndarray,
+        n_attempts: np.ndarray,
+        login_success: np.ndarray,
+        script_id: np.ndarray,
+        n_commands: np.ndarray,
+        has_uri: np.ndarray,
+        password_id: np.ndarray,
+        username_id: np.ndarray,
+        close_reason: np.ndarray,
+        version_id: np.ndarray,
+        hash_ids: List[Tuple[int, ...]],
+        honeypots: StringTable,
+        countries: StringTable,
+        passwords: StringTable,
+        usernames: StringTable,
+        hashes: StringTable,
+        versions: StringTable,
+        scripts: List[CommandScript],
+    ):
+        self.start_time = start_time
+        self.duration = duration
+        self.honeypot = honeypot
+        self.protocol = protocol
+        self.client_ip = client_ip
+        self.client_asn = client_asn
+        self.client_country = client_country
+        self.n_attempts = n_attempts
+        self.login_success = login_success
+        self.script_id = script_id
+        self.n_commands = n_commands
+        self.has_uri = has_uri
+        self.password_id = password_id
+        self.username_id = username_id
+        self.close_reason = close_reason
+        self.version_id = version_id
+        self.hash_ids = hash_ids
+        self.honeypots = honeypots
+        self.countries = countries
+        self.passwords = passwords
+        self.usernames = usernames
+        self.hashes = hashes
+        self.versions = versions
+        self.scripts = scripts
+        self._day: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return len(self.start_time)
+
+    @property
+    def day(self) -> np.ndarray:
+        """Zero-based observation-day index of each session (cached)."""
+        if self._day is None:
+            self._day = (self.start_time // SECONDS_PER_DAY).astype(np.int32)
+        return self._day
+
+    @property
+    def n_honeypots(self) -> int:
+        return len(self.honeypots)
+
+    @property
+    def n_days(self) -> int:
+        return int(self.day.max()) + 1 if len(self) else 0
+
+    # -- row access ------------------------------------------------------------
+
+    def record(self, index: int) -> SessionRecord:
+        """Materialise row ``index`` as a :class:`SessionRecord`."""
+        script_id = int(self.script_id[index])
+        commands: Tuple[str, ...] = ()
+        uris: Tuple[str, ...] = ()
+        if script_id >= 0:
+            script = self.scripts[script_id]
+            commands, uris = script.commands, script.uris
+        password_id = int(self.password_id[index])
+        username_id = int(self.username_id[index])
+        version_id = int(self.version_id[index])
+        return SessionRecord(
+            start_time=float(self.start_time[index]),
+            duration=float(self.duration[index]),
+            honeypot_id=self.honeypots.value_of(int(self.honeypot[index])),
+            protocol=_PROTOCOL_NAMES[int(self.protocol[index])],
+            client_ip=int(self.client_ip[index]),
+            client_asn=int(self.client_asn[index]),
+            client_country=self.countries.value_of(int(self.client_country[index])),
+            n_login_attempts=int(self.n_attempts[index]),
+            login_success=bool(self.login_success[index]),
+            username=self.usernames.value_of(username_id) if username_id >= 0 else "",
+            password=self.passwords.value_of(password_id) if password_id >= 0 else "",
+            commands=commands,
+            uris=uris,
+            file_hashes=tuple(
+                self.hashes.value_of(h) for h in self.hash_ids[index]
+            ),
+            close_reason=_CLOSE_REASONS[int(self.close_reason[index])],
+            client_version=(
+                self.versions.value_of(version_id) if version_id >= 0 else ""
+            ),
+        )
+
+    def __iter__(self) -> Iterator[SessionRecord]:
+        for i in range(len(self)):
+            yield self.record(i)
+
+    # -- convenience -------------------------------------------------------------
+
+    def filter(self, mask: np.ndarray) -> "SessionStore":
+        """A new store containing only the sessions where ``mask`` is True.
+
+        Side tables (interned strings, scripts) are shared with the parent
+        store, so ids remain comparable across the two stores.
+        """
+        if len(mask) != len(self):
+            raise ValueError("mask length must match store length")
+        idx = np.nonzero(mask)[0]
+        return SessionStore(
+            start_time=self.start_time[idx],
+            duration=self.duration[idx],
+            honeypot=self.honeypot[idx],
+            protocol=self.protocol[idx],
+            client_ip=self.client_ip[idx],
+            client_asn=self.client_asn[idx],
+            client_country=self.client_country[idx],
+            n_attempts=self.n_attempts[idx],
+            login_success=self.login_success[idx],
+            script_id=self.script_id[idx],
+            n_commands=self.n_commands[idx],
+            has_uri=self.has_uri[idx],
+            password_id=self.password_id[idx],
+            username_id=self.username_id[idx],
+            close_reason=self.close_reason[idx],
+            version_id=self.version_id[idx],
+            hash_ids=[self.hash_ids[int(i)] for i in idx],
+            honeypots=self.honeypots,
+            countries=self.countries,
+            passwords=self.passwords,
+            usernames=self.usernames,
+            hashes=self.hashes,
+            versions=self.versions,
+            scripts=self.scripts,
+        )
+
+    def honeypot_name(self, honeypot_index: int) -> str:
+        return self.honeypots.value_of(honeypot_index)
+
+    def hash_name(self, hash_id: int) -> str:
+        return self.hashes.value_of(hash_id)
+
+    @property
+    def is_ssh(self) -> np.ndarray:
+        return self.protocol == PROTOCOL_SSH
+
+    @property
+    def is_telnet(self) -> np.ndarray:
+        return self.protocol == PROTOCOL_TELNET

@@ -1,0 +1,99 @@
+"""Vectorised per-category field samplers.
+
+Durations, close reasons and login-attempt counts per session category,
+shaped to reproduce the paper's Figure 7 (session-duration ECDFs):
+
+* NO_CRED / FAIL_LOG sessions are mostly closed by the client well under a
+  minute; a minority of NO_CRED connections linger to the no-login timeout;
+* more than 90% of NO_CMD sessions end at the three-minute idle timeout;
+* CMD sessions mix client closes with a substantial idle-timeout share;
+* CMD+URI sessions inherit download transfer time and can cross the
+  three-minute line (the timeout resets while a download is in flight).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.honeypot.session import CloseReason
+from repro.store.store import _CLOSE_REASON_IDS
+from repro.simulation.rng import RngStream
+
+CLOSE_CLIENT = _CLOSE_REASON_IDS[CloseReason.CLIENT_DISCONNECT.value]
+CLOSE_AUTH_TIMEOUT = _CLOSE_REASON_IDS[CloseReason.AUTH_TIMEOUT.value]
+CLOSE_IDLE_TIMEOUT = _CLOSE_REASON_IDS[CloseReason.IDLE_TIMEOUT.value]
+CLOSE_TOO_MANY = _CLOSE_REASON_IDS[CloseReason.TOO_MANY_ATTEMPTS.value]
+CLOSE_EXIT = _CLOSE_REASON_IDS[CloseReason.CLIENT_EXIT.value]
+
+NO_LOGIN_TIMEOUT = 120.0
+IDLE_TIMEOUT = 180.0
+
+
+def no_cred_fields(rng: RngStream, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """(durations, close_reason_ids) for NO_CRED sessions."""
+    u = rng.random_array(n)
+    quick = 0.5 + 2.5 * rng.random_array(n)  # banner-grab and leave
+    linger = np.clip(rng.exponential_array(9.0, n), 0.5, NO_LOGIN_TIMEOUT - 5.0)
+    duration = np.where(u < 0.30, quick, np.where(u < 0.88, linger, NO_LOGIN_TIMEOUT))
+    close = np.where(u < 0.88, CLOSE_CLIENT, CLOSE_AUTH_TIMEOUT).astype(np.uint8)
+    return duration, close
+
+
+def fail_log_fields(
+    rng: RngStream, n: int, is_ssh: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(durations, close_reason_ids, n_attempts) for FAIL_LOG sessions."""
+    attempts = np.asarray(
+        rng.choice_indices(3, size=n, p=[0.24, 0.16, 0.60]), dtype=np.uint16
+    ) + 1
+    per_try = rng.uniform_array(1.5, 6.0, n)
+    duration = attempts * per_try + rng.uniform_array(0.4, 2.5, n)
+    server_closed = (attempts == 3) & is_ssh & (rng.random_array(n) < 0.35)
+    close = np.where(server_closed, CLOSE_TOO_MANY, CLOSE_CLIENT).astype(np.uint8)
+    return duration, close, attempts
+
+
+def no_cmd_fields(rng: RngStream, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(durations, close_reason_ids, n_attempts) for NO_CMD sessions."""
+    attempts = np.asarray(
+        rng.choice_indices(3, size=n, p=[0.72, 0.19, 0.09]), dtype=np.uint16
+    ) + 1
+    login_delay = rng.uniform_array(2.0, 10.0, n)
+    timed_out = rng.random_array(n) < 0.92
+    duration = np.where(
+        timed_out,
+        login_delay + IDLE_TIMEOUT,
+        login_delay + rng.uniform_array(3.0, 55.0, n),
+    )
+    close = np.where(timed_out, CLOSE_IDLE_TIMEOUT, CLOSE_CLIENT).astype(np.uint8)
+    return duration, close, attempts
+
+
+def cmd_fields(
+    rng: RngStream, n: int, exec_seconds: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(durations, close_reason_ids, n_attempts) for CMD / CMD+URI sessions.
+
+    ``exec_seconds`` is each session's script execution time (think time
+    plus any download transfer time from the profiled script run).
+    """
+    attempts = np.asarray(
+        rng.choice_indices(3, size=n, p=[0.70, 0.20, 0.10]), dtype=np.uint16
+    ) + 1
+    jitter = rng.lognormal_array(0.0, 0.35, n)
+    base = rng.uniform_array(2.0, 12.0, n) + exec_seconds * jitter
+    u = rng.random_array(n)
+    # 62% client disconnect right after the script; 30% idle out afterwards;
+    # 8% explicit exit.
+    duration = np.where(u < 0.62, base, np.where(u < 0.92, base + IDLE_TIMEOUT, base))
+    close = np.where(
+        u < 0.62, CLOSE_CLIENT, np.where(u < 0.92, CLOSE_IDLE_TIMEOUT, CLOSE_EXIT)
+    ).astype(np.uint8)
+    return duration, close, attempts
+
+
+def protocol_array(rng: RngStream, n: int, ssh_share: float) -> np.ndarray:
+    """0 = SSH, 1 = Telnet, with the category's SSH share."""
+    return (rng.random_array(n) >= ssh_share).astype(np.uint8)

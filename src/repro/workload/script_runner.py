@@ -1,0 +1,126 @@
+"""Execute interaction scripts once against a real honeypot.
+
+The trace generator stamps millions of sessions, but the *content* of every
+distinct interaction — recorded command strings, URIs, file hashes, and
+execution timing — comes from actually running the script through the
+honeypot's session state machine exactly once.  The resulting
+:class:`ScriptProfile` is then reused for every session of that campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.agents.scripts import ScriptKind, ScriptTemplate
+from repro.honeypot.honeypot import Honeypot, HoneypotConfig
+from repro.honeypot.protocol import Protocol
+from repro.honeypot.session import SessionConfig
+from repro.honeypot.shell.resolver import StaticPayloadResolver
+
+#: Seconds of "typing time" charged per input line when profiling.
+THINK_TIME_PER_LINE = 2.5
+
+
+@dataclass(frozen=True)
+class ScriptProfile:
+    """What one execution of a script produces, ready for bulk stamping."""
+
+    kind: ScriptKind
+    token: str
+    commands: Tuple[str, ...]
+    uris: Tuple[str, ...]
+    hashes: Tuple[str, ...]  # unique, in first-seen order
+    exec_seconds: float  # think time + download transfer time
+    download_seconds: float
+
+    @property
+    def primary_hash(self) -> Optional[str]:
+        return self.hashes[0] if self.hashes else None
+
+    @property
+    def creates_files(self) -> bool:
+        return bool(self.hashes)
+
+
+class ScriptRunner:
+    """Profiles scripts through a dedicated reference honeypot."""
+
+    def __init__(self) -> None:
+        self.resolver = StaticPayloadResolver()
+        self._honeypot = Honeypot(
+            HoneypotConfig(
+                honeypot_id="profiler",
+                ip=0x7F000001,
+                country="US",
+                asn=0,
+                session_config=SessionConfig(),
+            ),
+            resolver=self.resolver,
+        )
+        self._cache: Dict[Tuple, ScriptProfile] = {}
+
+    def profile(self, template: ScriptTemplate) -> ScriptProfile:
+        """Run ``template`` once (cached) and return its profile."""
+        key = (template.kind, template.token, tuple(template.lines))
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        if template.dropper_uri and template.payload is not None:
+            self._register_payload_uris(template)
+
+        session = self._honeypot.accept(
+            client_ip=0x7F000002, client_port=40000, dst_port=22, now=0.0
+        )
+        session.try_login("root", "profiling-pass", now=1.0)
+        now = 2.0
+        for line in template.lines:
+            if session.is_closed:
+                break
+            session.input_line(line, now=now)
+            now += THINK_TIME_PER_LINE
+        if not session.is_closed:
+            session.client_disconnect(now)
+        summary = session.summary()
+        self._honeypot.reap(now + 1.0)
+
+        unique_hashes: List[str] = []
+        for h in summary.file_hashes:
+            if h not in unique_hashes:
+                unique_hashes.append(h)
+        download_seconds = sum(
+            d.duration for d in session.shell_context.downloads if d.success
+        )
+        profile = ScriptProfile(
+            kind=template.kind,
+            token=template.token,
+            commands=tuple(summary.commands),
+            uris=tuple(summary.uris),
+            hashes=tuple(unique_hashes),
+            exec_seconds=len(template.lines) * THINK_TIME_PER_LINE + download_seconds,
+            download_seconds=download_seconds,
+        )
+        self._cache[key] = profile
+        return profile
+
+    def _register_payload_uris(self, template: ScriptTemplate) -> None:
+        """Register the campaign payload under every URI the script uses.
+
+        Dropper scripts name fallback transports (``wget X || tftp ...``)
+        that resolve to different URIs for the same payload; registering the
+        payload under each keeps the recorded hash identical across
+        transports — the property the farm relies on to correlate a
+        campaign.
+        """
+        payload = template.payload
+        uri = template.dropper_uri
+        self.resolver.register(uri, payload)
+        # Derive the busybox-tftp form of the same fetch.
+        if uri and uri.startswith("http://"):
+            rest = uri[len("http://"):]
+            host, _, path = rest.partition("/")
+            filename = path.rsplit("/", 1)[-1]
+            if filename:
+                self.resolver.register(f"tftp://{host}/{filename}", payload)
+                self.resolver.register(f"ftp://{host}/{filename}", payload)

@@ -1,0 +1,113 @@
+"""Client target sets: which honeypots each client contacts.
+
+A client's *target set* is fixed over its lifetime (size = the client's
+breadth attribute), sampled by honeypot client-attractiveness; individual
+sessions then choose within the target set by session-attractiveness.
+Using two different weight vectors is what decorrelates "most sessions"
+from "most clients" per honeypot (paper Figs 2 vs 14).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.geo.continents import Continent, continent_of
+from repro.simulation.rng import RngStream
+
+
+@dataclass
+class TargetSet:
+    """One client's honeypot targets and in-set selection distribution."""
+
+    pots: np.ndarray  # honeypot indices
+    cumulative: np.ndarray  # cumulative probability for in-set choice
+
+    def choose(self, u: float) -> int:
+        """Pick a pot index for one session given uniform draw ``u``."""
+        return int(self.pots[bisect.bisect_left(self.cumulative, u)])
+
+
+class TargetIndex:
+    """Builds and caches target sets for the whole population."""
+
+    def __init__(
+        self,
+        rng: RngStream,
+        client_weights: np.ndarray,
+        session_weights: np.ndarray,
+        pot_countries: Sequence[str],
+    ):
+        self.rng = rng
+        self.client_weights = client_weights / client_weights.sum()
+        self.session_weights = session_weights
+        self.n_pots = len(client_weights)
+        self.pot_countries = list(pot_countries)
+        self.pot_continents = [continent_of(cc) for cc in pot_countries]
+        self._by_continent: Dict[Continent, np.ndarray] = {}
+        for continent in set(self.pot_continents):
+            self._by_continent[continent] = np.array(
+                [i for i, c in enumerate(self.pot_continents) if c is continent],
+                dtype=np.int32,
+            )
+        self._by_country: Dict[str, np.ndarray] = {}
+        for country in set(self.pot_countries):
+            self._by_country[country] = np.array(
+                [i for i, cc in enumerate(self.pot_countries) if cc == country],
+                dtype=np.int32,
+            )
+        self._sets: List[Optional[TargetSet]] = []
+
+    def pots_on_continent(self, continent: Continent) -> np.ndarray:
+        return self._by_continent.get(continent, np.zeros(0, dtype=np.int32))
+
+    def pots_in_country(self, country: str) -> np.ndarray:
+        return self._by_country.get(country, np.zeros(0, dtype=np.int32))
+
+    def build_for(self, breadths: np.ndarray) -> List[TargetSet]:
+        """Build a target set per client (indexed like ``breadths``)."""
+        sets: List[TargetSet] = []
+        for breadth in breadths:
+            sets.append(self._sample_set(int(breadth)))
+        self._sets = sets
+        return sets
+
+    def _sample_set(self, breadth: int) -> TargetSet:
+        breadth = max(1, min(breadth, self.n_pots))
+        if breadth == self.n_pots:
+            pots = np.arange(self.n_pots, dtype=np.int32)
+        else:
+            picked = self.rng.choice_indices(
+                self.n_pots, size=breadth, p=self.client_weights, replace=False
+            )
+            pots = np.asarray(picked, dtype=np.int32)
+        weights = self.session_weights[pots].astype(np.float64)
+        cumulative = np.cumsum(weights / weights.sum())
+        cumulative[-1] = 1.0
+        return TargetSet(pots=pots, cumulative=cumulative)
+
+
+def build_subset(
+    rng: RngStream,
+    n_pots_total: int,
+    size: int,
+    weights: np.ndarray,
+) -> np.ndarray:
+    """A weighted, replacement-free honeypot subset (for campaigns)."""
+    size = max(1, min(size, n_pots_total))
+    if size == n_pots_total:
+        return np.arange(n_pots_total, dtype=np.int32)
+    p = weights / weights.sum()
+    picked = rng.choice_indices(n_pots_total, size=size, p=p, replace=False)
+    return np.sort(np.asarray(picked, dtype=np.int32))
+
+
+def subset_selector(pots: np.ndarray, session_weights: np.ndarray) -> TargetSet:
+    """Session-choice structure over a fixed pot subset."""
+    weights = session_weights[pots].astype(np.float64)
+    cumulative = np.cumsum(weights / weights.sum())
+    cumulative[-1] = 1.0
+    return TargetSet(pots=pots, cumulative=cumulative)

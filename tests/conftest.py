@@ -1,0 +1,26 @@
+"""Shared fixtures.
+
+The generated dataset is expensive, so integration-flavoured tests share
+one small session-scoped trace (~20k sessions, reduced hash budget).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import ScenarioConfig, generate_dataset
+
+
+@pytest.fixture(scope="session")
+def small_config() -> ScenarioConfig:
+    return ScenarioConfig(scale=1 / 20000, seed=99, hash_scale=0.008)
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_config):
+    return generate_dataset(small_config)
+
+
+@pytest.fixture(scope="session")
+def small_store(small_dataset):
+    return small_dataset.store

@@ -1,0 +1,122 @@
+"""Tests for campaign specifications."""
+
+from collections import Counter
+
+from repro.agents.campaigns import CampaignSpec, marquee_campaigns, midtail_campaigns
+from repro.agents.scripts import ScriptKind
+from repro.intel.tags import ThreatTag
+from repro.simulation.clock import OBSERVATION_DAYS
+from repro.simulation.rng import RngStream
+
+
+class TestMarquee:
+    def setup_method(self):
+        self.specs = {s.campaign_id: s for s in marquee_campaigns()}
+
+    def test_h1_dominates(self):
+        h1 = self.specs["H1"]
+        assert h1.sessions == 25_688_228
+        assert h1.n_clients == 118_924
+        assert h1.n_active_days == 484
+        assert h1.n_honeypots == 0  # all pots
+        assert h1.tag is ThreatTag.TROJAN
+        assert h1.kind is ScriptKind.KEY_INJECT
+
+    def test_h1_20x_next(self):
+        by_sessions = sorted(self.specs.values(), key=lambda s: -s.sessions)
+        assert by_sessions[0].sessions > 20 * by_sessions[1].sessions
+
+    def test_h2_three_clients(self):
+        h2 = self.specs["H2"]
+        assert h2.n_clients == 3
+        assert h2.intermittent
+
+    def test_top20_tag_mix(self):
+        # Paper: top-20 by sessions = 6 mirai, 5 malicious, 4 trojan,
+        # 3 unknown, 2 miners.
+        top20 = sorted(self.specs.values(), key=lambda s: -s.sessions)[:20]
+        counts = Counter(s.tag for s in top20)
+        assert counts[ThreatTag.MIRAI] == 6
+        assert counts[ThreatTag.MALICIOUS] == 5
+        assert counts[ThreatTag.TROJAN] == 4
+        assert counts[ThreatTag.UNKNOWN] == 3
+        assert counts[ThreatTag.MINER] == 2
+
+    def test_mirai_family_pinned(self):
+        family = [s for s in self.specs.values() if s.pot_group == "mirai77"]
+        assert len(family) >= 8
+        for spec in family:
+            assert 75 <= spec.n_honeypots <= 77
+            assert spec.password == "1234"
+            assert spec.client_pool == "mirai-fam"
+            assert spec.tag is ThreatTag.MIRAI
+
+    def test_miners(self):
+        assert self.specs["H11"].n_clients == 1
+        assert self.specs["H11"].n_active_days == 31
+        assert self.specs["H12"].n_clients == 200
+        assert self.specs["H12"].n_active_days == 12
+
+    def test_dropper_ssh_share_matches_cmd_uri(self):
+        # CMD+URI sessions are 62.45% SSH in Table 1.
+        droppers = [s for s in self.specs.values() if s.kind is ScriptKind.DROPPER]
+        assert all(abs(s.ssh_share - 0.62) < 0.01 for s in droppers)
+
+    def test_campaigns_fit_window(self):
+        for spec in self.specs.values():
+            assert 0 <= spec.start_day < OBSERVATION_DAYS
+            assert spec.n_active_days >= 1
+
+    def test_table6_top_days(self):
+        # H1 is the longest-lived campaign (Table 6).
+        by_days = sorted(self.specs.values(), key=lambda s: -s.n_active_days)
+        assert by_days[0].campaign_id == "H1"
+
+    def test_span_days(self):
+        continuous = CampaignSpec("x", ThreatTag.MIRAI, ScriptKind.DROPPER,
+                                  100, 10, 0, 20, 5)
+        assert continuous.span_days == 20
+        gappy = CampaignSpec("y", ThreatTag.MIRAI, ScriptKind.DROPPER,
+                             100, 10, 0, 20, 5, intermittent=True)
+        assert gappy.span_days > 20
+
+
+class TestMidtail:
+    def setup_method(self):
+        self.specs = midtail_campaigns(400, RngStream(3, "midtail"))
+
+    def test_count(self):
+        assert len(self.specs) == 400
+
+    def test_unique_ids(self):
+        assert len({s.campaign_id for s in self.specs}) == 400
+
+    def test_majority_single_day(self):
+        single = sum(1 for s in self.specs if s.n_active_days == 1)
+        assert 0.4 < single / len(self.specs) < 0.7
+
+    def test_mirai_short_lived(self):
+        mirai_days = [s.n_active_days for s in self.specs if s.tag is ThreatTag.MIRAI]
+        assert mirai_days
+        assert max(mirai_days) <= 45
+
+    def test_trojans_can_linger(self):
+        trojan_days = [s.n_active_days for s in self.specs if s.tag is ThreatTag.TROJAN]
+        assert max(trojan_days) > 45
+
+    def test_fit_window(self):
+        for spec in self.specs:
+            assert 0 <= spec.start_day
+            assert spec.start_day + spec.n_active_days <= OBSERVATION_DAYS + 1
+            assert 1 <= spec.n_honeypots <= 221
+
+    def test_sessions_at_least_days(self):
+        assert all(s.sessions >= s.n_active_days for s in self.specs)
+
+    def test_intel_coverage_low(self):
+        covered = sum(1 for s in self.specs if s.in_intel_db)
+        assert covered / len(self.specs) < 0.12
+
+    def test_deterministic(self):
+        again = midtail_campaigns(400, RngStream(3, "midtail"))
+        assert [s.sessions for s in again] == [s.sessions for s in self.specs]

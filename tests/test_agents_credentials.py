@@ -1,0 +1,61 @@
+"""Tests for credential dictionaries."""
+
+from collections import Counter
+
+from repro.agents.credentials import (
+    CredentialDictionary,
+    FAILED_USERNAMES,
+    SUCCESSFUL_PASSWORDS,
+)
+from repro.honeypot.auth import AuthPolicy
+from repro.simulation.rng import RngStream
+
+
+class TestDictionaries:
+    def test_table2_passwords_present(self):
+        # All ten of the paper's Table 2 passwords are modelled.
+        values = {p for p, _ in SUCCESSFUL_PASSWORDS}
+        for password in ("admin", "1234", "3245gs5662d34", "dreambox",
+                         "vertex25ektks123", "12345", "h3c", "1qaz2wsx3edc",
+                         "passw0rd", "GM8182"):
+            assert password in values
+
+    def test_paper_usernames_present(self):
+        values = {u for u, _ in FAILED_USERNAMES}
+        for username in ("nproc", "admin", "user"):
+            assert username in values
+
+    def test_root_never_in_success_list(self):
+        assert all(p != "root" for p, _ in SUCCESSFUL_PASSWORDS)
+
+
+class TestSampling:
+    def setup_method(self):
+        self.creds = CredentialDictionary(RngStream(5, "creds"))
+        self.policy = AuthPolicy()
+
+    def test_successful_passwords_pass_policy(self):
+        for _ in range(200):
+            assert self.policy.check_password("root", self.creds.successful_password()).success
+
+    def test_failing_credentials_fail_policy(self):
+        for _ in range(200):
+            username, password = self.creds.failing_credentials()
+            assert not self.policy.check_password(username, password).success
+
+    def test_ranking_matches_weights(self):
+        counts = Counter(self.creds.successful_password() for _ in range(8000))
+        assert counts.most_common(1)[0][0] == "admin"
+        # "1234" should be a close second.
+        assert counts["1234"] > counts["GM8182"]
+
+    def test_attempt_sequence_ends_with_success(self):
+        seq = self.creds.attempt_sequence(2, end_success=True)
+        assert len(seq) == 3
+        assert self.policy.check_password(*seq[-1]).success
+        assert all(not self.policy.check_password(*a).success for a in seq[:-1])
+
+    def test_attempt_sequence_all_failures(self):
+        seq = self.creds.attempt_sequence(3, end_success=False)
+        assert len(seq) == 3
+        assert all(not self.policy.check_password(*a).success for a in seq)

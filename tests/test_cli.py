@@ -1,0 +1,50 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_report(self, capsys):
+        assert main(["report", "--scale", "40000", "--seed", "3",
+                     "--hash-scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "SSH share" in out
+
+    def test_generate_npz(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.npz"
+        assert main(["generate", "--scale", "40000", "--seed", "3",
+                     "--hash-scale", "0.005", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        from repro.store.npz import load_npz
+        store = load_npz(out_path)
+        assert len(store) > 1000
+
+    def test_generate_jsonl(self, tmp_path):
+        out_path = tmp_path / "trace.jsonl.gz"
+        assert main(["generate", "--scale", "80000", "--seed", "3",
+                     "--hash-scale", "0.005", "--out", str(out_path)]) == 0
+        from repro.store.io import read_jsonl
+        store = read_jsonl(out_path)
+        assert len(store) > 500
+
+    def test_tables(self, capsys):
+        assert main(["tables", "--scale", "40000", "--seed", "3",
+                     "--hash-scale", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 6" in out
+        assert "H1" in out
+
+    def test_validate(self, capsys):
+        code = main(["validate", "--scale", "20000", "--seed", "99",
+                     "--hash-scale", "0.008"])
+        out = capsys.readouterr().out
+        assert "calibration:" in out
+        assert code == 0, out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

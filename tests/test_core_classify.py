@@ -1,0 +1,91 @@
+"""Tests for session classification (Figure 5 taxonomy)."""
+
+import numpy as np
+import pytest
+
+from repro.core.classify import (
+    BEHAVIOR_OF,
+    CATEGORIES,
+    Category,
+    behavior_masks,
+    category_masks,
+    category_shares,
+    classify_record,
+    classify_store,
+)
+from repro.store.records import SessionRecord
+from repro.store.store import StoreBuilder
+
+
+def record_for(n_attempts, success, commands=(), uris=()):
+    return SessionRecord(
+        start_time=0.0, duration=1.0, honeypot_id="h", protocol="ssh",
+        client_ip=1, client_asn=1, client_country="US",
+        n_login_attempts=n_attempts, login_success=success,
+        commands=tuple(commands), uris=tuple(uris),
+    )
+
+
+class TestClassifyRecord:
+    def test_no_cred(self):
+        assert classify_record(record_for(0, False)) is Category.NO_CRED
+
+    def test_fail_log(self):
+        assert classify_record(record_for(3, False)) is Category.FAIL_LOG
+
+    def test_no_cmd(self):
+        assert classify_record(record_for(1, True)) is Category.NO_CMD
+
+    def test_cmd(self):
+        assert classify_record(record_for(1, True, ["uname"])) is Category.CMD
+
+    def test_cmd_uri(self):
+        record = record_for(1, True, ["wget http://x/y"], ["http://x/y"])
+        assert classify_record(record) is Category.CMD_URI
+
+
+class TestClassifyStore:
+    @pytest.fixture
+    def store(self):
+        builder = StoreBuilder()
+        builder.append(record_for(0, False))
+        builder.append(record_for(2, False))
+        builder.append(record_for(1, True))
+        builder.append(record_for(1, True, ["uname"]))
+        builder.append(record_for(1, True, ["wget http://x/y"], ["http://x/y"]))
+        return builder.build()
+
+    def test_codes_match_record_classification(self, store):
+        codes = classify_store(store)
+        assert list(codes) == [0, 1, 2, 3, 4]
+
+    def test_every_session_classified(self, store):
+        masks = category_masks(store)
+        stacked = np.vstack([masks[c] for c in CATEGORIES])
+        assert (stacked.sum(axis=0) == 1).all()
+
+    def test_shares_sum_to_one(self, store):
+        shares = category_shares(store)
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_vector_matches_scalar(self, store):
+        codes = classify_store(store)
+        for i in range(len(store)):
+            assert CATEGORIES[codes[i]] is classify_record(store.record(i))
+
+    def test_behavior_masks(self, store):
+        behaviors = behavior_masks(store)
+        assert behaviors["scanning"].sum() == 1
+        assert behaviors["scouting"].sum() == 1
+        assert behaviors["intrusion"].sum() == 3
+
+    def test_behavior_mapping(self):
+        assert BEHAVIOR_OF[Category.NO_CRED] == "scanning"
+        assert BEHAVIOR_OF[Category.FAIL_LOG] == "scouting"
+        assert BEHAVIOR_OF[Category.CMD_URI] == "intrusion"
+
+    def test_empty_store(self):
+        store = StoreBuilder().build()
+        assert len(classify_store(store)) == 0
+        shares = category_shares(store)
+        assert all(v == 0.0 for v in shares.values())

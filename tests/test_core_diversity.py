@@ -1,0 +1,116 @@
+"""Tests for regional diversity analysis (Figures 16, 24)."""
+
+import numpy as np
+import pytest
+
+from repro.core.diversity import (
+    BIT_OUT_CONTINENT,
+    BIT_SAME_CONTINENT,
+    BIT_SAME_COUNTRY,
+    COMBO_NAMES,
+    diversity_by_category,
+    regional_diversity,
+    session_relations,
+)
+from repro.store.records import SessionRecord
+from repro.store.store import StoreBuilder
+
+#: Pot 0 in Germany, pot 1 in Singapore.
+POT_COUNTRIES = ["DE", "SG"]
+
+
+def store_with(rows):
+    builder = StoreBuilder()
+    builder.honeypots.intern("p0")
+    builder.honeypots.intern("p1")
+    for row in rows:
+        base = dict(duration=1.0, protocol="ssh", client_asn=1,
+                    n_login_attempts=0, login_success=False)
+        base.update(row)
+        builder.append(SessionRecord(**base))
+    return builder.build()
+
+
+class TestSessionRelations:
+    def test_same_country(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="DE"),
+        ])
+        assert session_relations(store, POT_COUNTRIES).tolist() == [BIT_SAME_COUNTRY]
+
+    def test_same_continent(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="FR"),
+        ])
+        assert session_relations(store, POT_COUNTRIES).tolist() == [BIT_SAME_CONTINENT]
+
+    def test_out_of_continent(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="CN"),
+        ])
+        assert session_relations(store, POT_COUNTRIES).tolist() == [BIT_OUT_CONTINENT]
+
+    def test_asia_to_singapore_is_same_continent(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p1", client_ip=1, client_country="CN"),
+        ])
+        assert session_relations(store, POT_COUNTRIES).tolist() == [BIT_SAME_CONTINENT]
+
+
+class TestAggregation:
+    def test_mixed_day_combo(self):
+        # One client hits DE pot (same country) and SG pot (out) on day 0.
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="DE"),
+            dict(start_time=50.0, honeypot_id="p1", client_ip=1, client_country="DE"),
+        ])
+        report = regional_diversity(store, POT_COUNTRIES)
+        combo = BIT_SAME_COUNTRY | BIT_OUT_CONTINENT
+        assert report.daily_combos[combo][0] == 1
+        assert report.daily_clients[0] == 1
+
+    def test_separate_days_counted_separately(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="DE"),
+            dict(start_time=86_400.0, honeypot_id="p1", client_ip=1, client_country="DE"),
+        ])
+        report = regional_diversity(store, POT_COUNTRIES)
+        assert report.daily_combos[BIT_SAME_COUNTRY][0] == 1
+        assert report.daily_combos[BIT_OUT_CONTINENT][1] == 1
+
+    def test_shares(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="CN"),
+            dict(start_time=0.0, honeypot_id="p0", client_ip=2, client_country="DE"),
+        ])
+        report = regional_diversity(store, POT_COUNTRIES)
+        assert report.out_only_share == pytest.approx(0.5)
+        assert report.any_local_share == pytest.approx(0.5)
+
+    def test_empty_mask(self):
+        store = store_with([
+            dict(start_time=0.0, honeypot_id="p0", client_ip=1, client_country="DE"),
+        ])
+        report = regional_diversity(store, POT_COUNTRIES,
+                                    np.zeros(1, dtype=bool))
+        assert report.out_only_share == 0.0
+
+    def test_combo_names_complete(self):
+        assert set(COMBO_NAMES) == set(range(1, 8))
+
+
+class TestPaperShape:
+    def test_out_of_continent_dominates(self, small_dataset):
+        pot_countries = [s.country for s in small_dataset.deployment.sites]
+        report = regional_diversity(small_dataset.store, pot_countries)
+        # Paper: >50% of daily interactions stay entirely off-continent.
+        assert report.out_only_share > 0.40
+
+    def test_uri_sessions_more_local(self, small_dataset):
+        pot_countries = [s.country for s in small_dataset.deployment.sites]
+        by_cat = diversity_by_category(small_dataset.store, pot_countries)
+        # Paper Fig 16b/24e: CMD+URI is markedly more local than scanning.
+        assert (
+            by_cat["CMD_URI"].out_only_share
+            < by_cat["NO_CRED"].out_only_share
+        )

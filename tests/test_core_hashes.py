@@ -1,0 +1,201 @@
+"""Tests for hash/campaign analyses (Figures 18-22, Tables 4-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashes import (
+    HashOccurrences,
+    campaign_length_ecdfs,
+    clients_per_hash_curve,
+    compute_hash_stats,
+    hashes_per_client,
+    hashes_per_honeypot,
+    pot_coverage_summary,
+    top_hash_table,
+)
+from repro.intel.database import IntelDatabase
+from repro.intel.tags import ThreatTag
+from repro.store.records import SessionRecord
+from repro.store.store import StoreBuilder
+
+H_A = "a" * 64
+H_B = "b" * 64
+
+
+def hash_store():
+    """Hash A: 3 sessions, 2 clients, 2 pots, 2 days. Hash B: 1 session."""
+    builder = StoreBuilder()
+    rows = [
+        dict(client_ip=1, honeypot_id="p0", start_time=0.0, file_hashes=(H_A,)),
+        dict(client_ip=1, honeypot_id="p1", start_time=86_400.0, file_hashes=(H_A,)),
+        dict(client_ip=2, honeypot_id="p0", start_time=100.0, file_hashes=(H_A, H_A)),
+        dict(client_ip=2, honeypot_id="p0", start_time=200.0, file_hashes=(H_B,)),
+        dict(client_ip=3, honeypot_id="p1", start_time=300.0, file_hashes=()),
+    ]
+    for row in rows:
+        base = dict(duration=1.0, protocol="ssh", client_asn=1,
+                    client_country="US", n_login_attempts=1,
+                    login_success=True, commands=("x",))
+        base.update(row)
+        builder.append(SessionRecord(**base))
+    return builder.build()
+
+
+class TestOccurrences:
+    def test_build_dedupes_within_session(self):
+        occ = HashOccurrences.build(hash_store())
+        # 4 (session, hash) pairs: the duplicate H_A within one session
+        # collapses to one occurrence.
+        assert len(occ) == 4
+        assert occ.n_hashes == 2
+
+    def test_empty_store(self):
+        occ = HashOccurrences.build(StoreBuilder().build())
+        assert len(occ) == 0
+
+
+class TestStats:
+    @pytest.fixture
+    def stats(self):
+        store = hash_store()
+        return compute_hash_stats(HashOccurrences.build(store)), store
+
+    def test_sessions(self, stats):
+        s, store = stats
+        a = store.hashes.id_of(H_A)
+        b = store.hashes.id_of(H_B)
+        assert s.sessions[a] == 3
+        assert s.sessions[b] == 1
+
+    def test_clients(self, stats):
+        s, store = stats
+        assert s.clients[store.hashes.id_of(H_A)] == 2
+        assert s.clients[store.hashes.id_of(H_B)] == 1
+
+    def test_days(self, stats):
+        s, store = stats
+        assert s.days[store.hashes.id_of(H_A)] == 2
+
+    def test_honeypots(self, stats):
+        s, store = stats
+        assert s.honeypots[store.hashes.id_of(H_A)] == 2
+        assert s.honeypots[store.hashes.id_of(H_B)] == 1
+
+    def test_first_last_day(self, stats):
+        s, store = stats
+        a = store.hashes.id_of(H_A)
+        assert s.first_day[a] == 0
+        assert s.last_day[a] == 1
+
+    def test_top_by(self, stats):
+        s, store = stats
+        top = s.top_by("sessions", 1)
+        assert store.hashes.value_of(int(top[0])) == H_A
+
+
+class TestPerPotPerClient:
+    def test_hashes_per_honeypot(self):
+        store = hash_store()
+        occ = HashOccurrences.build(store)
+        per_pot = hashes_per_honeypot(occ)
+        # p0 saw A and B; p1 saw A only.
+        assert sorted(per_pot.tolist()) == [1, 2]
+
+    def test_hashes_per_client(self):
+        occ = HashOccurrences.build(hash_store())
+        curve = hashes_per_client(occ)
+        # client 2 -> 2 hashes; client 1 -> 1 hash.
+        assert curve.tolist() == [2, 1]
+
+    def test_clients_per_hash_curve(self):
+        store = hash_store()
+        stats = compute_hash_stats(HashOccurrences.build(store))
+        assert clients_per_hash_curve(stats).tolist() == [2, 1]
+
+
+class TestCoverage:
+    def test_summary(self):
+        store = hash_store()
+        occ = HashOccurrences.build(store)
+        stats = compute_hash_stats(occ)
+        summary = pot_coverage_summary(occ, stats)
+        assert summary["n_hashes"] == 2
+        assert summary["share_single_pot"] == 0.5
+        assert summary["top_pot_hash_share"] == 1.0  # p0 saw both hashes
+
+    def test_empty(self):
+        occ = HashOccurrences.build(StoreBuilder().build())
+        stats = compute_hash_stats(occ)
+        assert pot_coverage_summary(occ, stats)["n_hashes"] == 0
+
+
+class TestTables:
+    def test_top_hash_table(self):
+        store = hash_store()
+        intel = IntelDatabase()
+        intel.register(H_A, ThreatTag.MIRAI)
+        occ = HashOccurrences.build(store)
+        stats = compute_hash_stats(occ)
+        rows = top_hash_table(stats, store, intel, "sessions", k=5,
+                              labels={H_A: "H1"})
+        assert rows[0].hash_label == "H1"
+        assert rows[0].n_sessions == 3
+        assert rows[0].tag == "mirai"
+        assert rows[1].tag == "unknown"
+
+    def test_table_skips_unobserved(self):
+        store = hash_store()
+        intel = IntelDatabase()
+        occ = HashOccurrences.build(store)
+        stats = compute_hash_stats(occ)
+        rows = top_hash_table(stats, store, intel, "sessions", k=50)
+        assert len(rows) == 2
+
+
+class TestCampaignLengths:
+    def test_ecdfs_by_tag(self):
+        store = hash_store()
+        intel = IntelDatabase()
+        intel.register(H_A, ThreatTag.MIRAI)
+        intel.register(H_B, ThreatTag.TROJAN)
+        stats = compute_hash_stats(HashOccurrences.build(store))
+        ecdfs = campaign_length_ecdfs(stats, store, intel)
+        assert ecdfs["ALL"].n == 2
+        assert ecdfs["mirai"].n == 1
+        assert ecdfs["mirai"].median == 2
+        assert ecdfs["trojan"].median == 1
+
+
+class TestPaperShape:
+    @pytest.fixture(scope="class")
+    def generated(self, small_dataset):
+        occ = HashOccurrences.build(small_dataset.store)
+        return small_dataset, occ, compute_hash_stats(occ)
+
+    def test_h1_tops_all_three_tables(self, generated):
+        ds, occ, stats = generated
+        h1_hash = ds.campaign("H1").primary_hash
+        h1_id = ds.store.hashes.id_of(h1_hash)
+        assert stats.top_by("sessions", 1)[0] == h1_id
+        assert stats.top_by("clients", 1)[0] == h1_id
+        assert stats.top_by("days", 1)[0] == h1_id
+
+    def test_majority_single_pot(self, generated):
+        _, occ, stats = generated
+        summary = pot_coverage_summary(occ, stats)
+        assert summary["share_single_pot"] > 0.5
+
+    def test_top_pot_sees_small_fraction(self, generated):
+        _, occ, stats = generated
+        summary = pot_coverage_summary(occ, stats)
+        assert summary["top_pot_hash_share"] < 0.12
+
+    def test_long_tail_clients_per_hash(self, generated):
+        _, _, stats = generated
+        curve = clients_per_hash_curve(stats)
+        assert curve[0] > 10 * np.median(curve)
+
+    def test_most_hashes_single_day(self, generated):
+        ds, _, stats = generated
+        observed = stats.days[stats.sessions > 0]
+        assert (observed == 1).mean() > 0.4

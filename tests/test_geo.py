@@ -1,0 +1,130 @@
+"""Tests for the synthetic geo/AS registry."""
+
+import pytest
+
+from repro.geo.continents import (
+    ALL_COUNTRIES,
+    COUNTRY_CONTINENT,
+    Continent,
+    continent_of,
+    countries_in,
+    country_name,
+)
+from repro.geo.registry import GeoRegistry, NetworkType
+
+
+class TestContinents:
+    def test_known_countries(self):
+        assert continent_of("CN") is Continent.ASIA
+        assert continent_of("DE") is Continent.EUROPE
+        assert continent_of("US") is Continent.NORTH_AMERICA
+        assert continent_of("BR") is Continent.SOUTH_AMERICA
+        assert continent_of("ZA") is Continent.AFRICA
+        assert continent_of("AU") is Continent.OCEANIA
+
+    def test_unknown_country_raises(self):
+        with pytest.raises(KeyError):
+            continent_of("XX")
+
+    def test_country_names(self):
+        assert country_name("CN") == "China"
+        assert country_name("TW") == "Taiwan"
+
+    def test_every_country_has_continent_and_name(self):
+        for cc in ALL_COUNTRIES:
+            assert continent_of(cc) in Continent
+            assert country_name(cc)
+
+    def test_countries_in_partition(self):
+        total = sum(len(countries_in(c)) for c in Continent)
+        assert total == len(ALL_COUNTRIES)
+
+    def test_paper_client_countries_present(self):
+        # The paper's headline client origins must all be modelled.
+        for cc in ("CN", "IN", "US", "RU", "BR", "TW", "MX", "IR"):
+            assert cc in COUNTRY_CONTINENT
+
+
+class TestGeoRegistry:
+    def test_register_and_lookup(self):
+        registry = GeoRegistry()
+        record = registry.register_as("DE", NetworkType.RESIDENTIAL)
+        addr = record.prefixes[0].address_at(17)
+        found = registry.lookup(addr)
+        assert found is not None
+        assert found.country == "DE"
+        assert found.asn == record.asn
+        assert found.continent is Continent.EUROPE
+        assert found.network_type is NetworkType.RESIDENTIAL
+
+    def test_lookup_unallocated(self):
+        registry = GeoRegistry()
+        registry.register_as("DE", NetworkType.RESIDENTIAL)
+        assert registry.lookup(0) is None
+
+    def test_disjoint_allocations(self):
+        registry = GeoRegistry()
+        a = registry.register_as("DE", NetworkType.RESIDENTIAL)
+        b = registry.register_as("FR", NetworkType.DATACENTER)
+        assert registry.country_of(a.prefixes[0].first) == "DE"
+        assert registry.country_of(b.prefixes[0].first) == "FR"
+
+    def test_multi_prefix_as(self):
+        registry = GeoRegistry()
+        record = registry.register_as("US", NetworkType.CLOUD, n_prefixes=3)
+        assert len(record.prefixes) == 3
+        for prefix in record.prefixes:
+            assert registry.asn_of(prefix.first) == record.asn
+
+    def test_asn_uniqueness(self):
+        registry = GeoRegistry()
+        asns = {registry.register_as("US", NetworkType.CLOUD).asn for _ in range(50)}
+        assert len(asns) == 50
+
+    def test_explicit_asn(self):
+        registry = GeoRegistry()
+        record = registry.register_as("JP", NetworkType.MOBILE, asn=65000)
+        assert record.asn == 65000
+        with pytest.raises(ValueError):
+            registry.register_as("JP", NetworkType.MOBILE, asn=65000)
+
+    def test_invalid_country_rejected(self):
+        with pytest.raises(KeyError):
+            GeoRegistry().register_as("XX", NetworkType.RESIDENTIAL)
+
+    def test_relation(self):
+        registry = GeoRegistry()
+        de = registry.register_as("DE", NetworkType.RESIDENTIAL)
+        fr = registry.register_as("FR", NetworkType.RESIDENTIAL)
+        cn = registry.register_as("CN", NetworkType.RESIDENTIAL)
+        de2 = registry.register_as("DE", NetworkType.DATACENTER)
+        a, b = de.prefixes[0].first, fr.prefixes[0].first
+        assert registry.relation(a, b) == (False, True)
+        assert registry.relation(a, cn.prefixes[0].first) == (False, False)
+        assert registry.relation(a, de2.prefixes[0].first) == (True, True)
+        assert registry.relation(a, a) == (True, True)
+
+    def test_relation_unallocated(self):
+        registry = GeoRegistry()
+        registry.register_as("DE", NetworkType.RESIDENTIAL)
+        assert registry.relation(0, 0) == (False, False)
+
+    def test_ases_in_country(self):
+        registry = GeoRegistry()
+        registry.register_as("DE", NetworkType.RESIDENTIAL)
+        registry.register_as("DE", NetworkType.DATACENTER)
+        registry.register_as("FR", NetworkType.RESIDENTIAL)
+        assert len(registry.ases_in_country("DE")) == 2
+        assert registry.countries() == ["DE", "FR"]
+
+    def test_len(self):
+        registry = GeoRegistry()
+        registry.register_as("DE", NetworkType.RESIDENTIAL)
+        assert len(registry) == 1
+
+    def test_pool_from_record(self):
+        registry = GeoRegistry()
+        record = registry.register_as("DE", NetworkType.RESIDENTIAL)
+        pool = record.pool()
+        addr = pool.allocate_sequential()
+        assert registry.country_of(addr) == "DE"

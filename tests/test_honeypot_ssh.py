@@ -1,0 +1,78 @@
+"""Tests for SSH negotiation and HASSH fingerprinting."""
+
+import pytest
+
+from repro.honeypot.ssh import (
+    KNOWN_CLIENT_PROFILES,
+    SshClientProfile,
+    fingerprint_census,
+    hassh_of,
+    negotiate,
+)
+
+
+class TestNegotiation:
+    def test_modern_client_succeeds(self):
+        result = negotiate(KNOWN_CLIENT_PROFILES["SSH-2.0-Go"])
+        assert result.success
+        assert result.kex == "curve25519-sha256"
+        assert result.cipher == "chacha20-poly1305@openssh.com"
+
+    def test_client_preference_order_wins(self):
+        # RFC 4253: the first client algorithm the server supports is used.
+        client = SshClientProfile(
+            version="x",
+            kex=("diffie-hellman-group14-sha1", "curve25519-sha256"),
+            ciphers=("aes128-ctr",),
+            macs=("hmac-sha1",),
+        )
+        result = negotiate(client)
+        assert result.kex == "diffie-hellman-group14-sha1"
+
+    def test_legacy_only_client_fails(self):
+        result = negotiate(KNOWN_CLIENT_PROFILES["SSH-2.0-sshlib-0.1"])
+        assert not result.success
+        assert "no common" in result.failure_reason
+
+    def test_all_other_known_profiles_negotiate(self):
+        for version, profile in KNOWN_CLIENT_PROFILES.items():
+            if version == "SSH-2.0-sshlib-0.1":
+                continue
+            assert negotiate(profile).success, version
+
+    def test_custom_server_lists(self):
+        client = KNOWN_CLIENT_PROFILES["SSH-2.0-Go"]
+        result = negotiate(client, server_kex=["diffie-hellman-group1-sha1"])
+        assert not result.success
+
+
+class TestHassh:
+    def test_deterministic(self):
+        assert hassh_of("SSH-2.0-Go") == hassh_of("SSH-2.0-Go")
+
+    def test_hex32(self):
+        fp = hassh_of("SSH-2.0-PUTTY")
+        assert fp is not None and len(fp) == 32
+
+    def test_distinct_stacks_distinct_fingerprints(self):
+        fps = {hassh_of(v) for v in KNOWN_CLIENT_PROFILES}
+        assert len(fps) == len(KNOWN_CLIENT_PROFILES)
+
+    def test_unknown_version(self):
+        assert hassh_of("SSH-2.0-mystery") is None
+
+    def test_census(self):
+        census = fingerprint_census([
+            "SSH-2.0-Go", "SSH-2.0-Go", "SSH-2.0-PUTTY", "SSH-2.0-unknown",
+        ])
+        assert sum(census.values()) == 3
+        assert max(census.values()) == 2
+
+    def test_census_on_generated_trace(self, small_store):
+        from repro.core.versions import version_counts
+        versions = []
+        for version, count in version_counts(small_store):
+            versions.extend([version] * count)
+        census = fingerprint_census(versions)
+        # Several distinct tool stacks are active against the farm.
+        assert len(census) >= 4

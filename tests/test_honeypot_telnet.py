@@ -1,0 +1,124 @@
+"""Tests for the Telnet front-end."""
+
+import pytest
+
+from repro.honeypot.protocol import Protocol
+from repro.honeypot.session import CloseReason, HoneypotSession
+from repro.honeypot.telnet import (
+    DO,
+    DONT,
+    LOGIN_PROMPT,
+    OPT_ECHO,
+    OPT_NAWS,
+    OPT_TERMINAL_TYPE,
+    PASSWORD_PROMPT,
+    TelnetFrontend,
+    TelnetPhase,
+    WILL,
+    WONT,
+)
+
+
+def make_frontend():
+    session = HoneypotSession(
+        honeypot_id="h", honeypot_ip=1, protocol=Protocol.TELNET,
+        client_ip=2, client_port=23001, start_time=0.0,
+    )
+    return TelnetFrontend(session=session)
+
+
+class TestNegotiation:
+    def test_do_echo_answered_will(self):
+        frontend = make_frontend()
+        assert frontend.receive_iac(DO, OPT_ECHO) == WILL
+
+    def test_do_unsupported_answered_wont(self):
+        frontend = make_frontend()
+        assert frontend.receive_iac(DO, 99) == WONT
+
+    def test_will_terminal_type_answered_do(self):
+        frontend = make_frontend()
+        assert frontend.receive_iac(WILL, OPT_TERMINAL_TYPE) == DO
+        assert frontend.receive_iac(WILL, OPT_NAWS) == DO
+
+    def test_will_unsupported_answered_dont(self):
+        frontend = make_frontend()
+        assert frontend.receive_iac(WILL, OPT_ECHO) == DONT
+
+    def test_negotiations_recorded(self):
+        frontend = make_frontend()
+        frontend.receive_iac(DO, OPT_ECHO)
+        assert len(frontend.negotiations) == 1
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError):
+            make_frontend().receive_iac(250, OPT_ECHO)
+
+
+class TestLoginDialogue:
+    def test_initial_prompt(self):
+        frontend = make_frontend()
+        assert frontend.phase is TelnetPhase.LOGIN
+        assert LOGIN_PROMPT in frontend.transcript
+
+    def test_username_then_password_prompt(self):
+        frontend = make_frontend()
+        reply = frontend.client_says("root", 1.0)
+        assert reply == PASSWORD_PROMPT
+        assert frontend.phase is TelnetPhase.PASSWORD
+
+    def test_successful_login_reaches_shell(self):
+        frontend = make_frontend()
+        frontend.client_says("root", 1.0)
+        reply = frontend.client_says("dreambox", 2.0)
+        assert "BusyBox" in reply
+        assert frontend.phase is TelnetPhase.SHELL
+        assert frontend.session.login_success
+
+    def test_failed_login_reprompts(self):
+        frontend = make_frontend()
+        frontend.client_says("admin", 1.0)
+        reply = frontend.client_says("admin", 2.0)
+        assert "Login incorrect" in reply
+        assert LOGIN_PROMPT in reply
+        assert frontend.phase is TelnetPhase.LOGIN
+
+    def test_telnet_allows_many_attempts(self):
+        frontend = make_frontend()
+        for i in range(5):
+            frontend.client_says("admin", float(i))
+            frontend.client_says("wrong", float(i) + 0.5)
+        assert not frontend.session.is_closed
+        assert frontend.session.credentials[0] == ("admin", "wrong")
+
+    def test_shell_commands_recorded(self):
+        frontend = make_frontend()
+        frontend.client_says("root", 1.0)
+        frontend.client_says("1234", 2.0)
+        reply = frontend.client_says("uname -a", 3.0)
+        assert "Linux" in reply
+        assert frontend.session.commands == ["uname -a"]
+
+    def test_exit_closes(self):
+        frontend = make_frontend()
+        frontend.client_says("root", 1.0)
+        frontend.client_says("1234", 2.0)
+        frontend.client_says("exit", 3.0)
+        assert frontend.phase is TelnetPhase.CLOSED
+        assert frontend.session.close_reason is CloseReason.CLIENT_EXIT
+
+    def test_hang_up(self):
+        frontend = make_frontend()
+        frontend.client_says("root", 1.0)
+        frontend.hang_up(2.0)
+        assert frontend.session.is_closed
+        assert frontend.session.close_reason is CloseReason.CLIENT_DISCONNECT
+        assert frontend.client_says("anything", 3.0) == ""
+
+    def test_mirai_style_dialogue(self):
+        """The classic Mirai telnet chain ends with the busybox probe."""
+        frontend = make_frontend()
+        frontend.client_says("root", 1.0)
+        frontend.client_says("xc3511", 2.0)
+        reply = frontend.client_says("/bin/busybox MIRAI", 3.0)
+        assert "MIRAI: applet not found" in reply

@@ -1,0 +1,89 @@
+"""Tests for TTY transcript logging and replay."""
+
+import pytest
+
+from repro.honeypot.protocol import Protocol
+from repro.honeypot.session import HoneypotSession
+from repro.honeypot.ttylog import TtyDirection, TtyLog, attach_ttylog
+
+
+class TestTtyLog:
+    def test_record_order(self):
+        log = TtyLog("s1")
+        log.record_input(1.0, "uname -a")
+        log.record_output(1.1, "Linux ...")
+        assert len(log) == 2
+        assert log.entries[0].direction is TtyDirection.INPUT
+        assert log.entries[1].direction is TtyDirection.OUTPUT
+
+    def test_empty_output_skipped(self):
+        log = TtyLog("s1")
+        log.record_output(1.0, "")
+        assert len(log) == 0
+
+    def test_duration(self):
+        log = TtyLog("s1")
+        log.record_input(5.0, "a")
+        log.record_input(12.5, "b")
+        assert log.duration == 7.5
+        assert TtyLog("s2").duration == 0.0
+
+    def test_input_lines(self):
+        log = TtyLog("s1")
+        log.record_input(1.0, "first")
+        log.record_output(1.1, "resp")
+        log.record_input(2.0, "second")
+        assert log.input_lines == ["first", "second"]
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        log = TtyLog("s42")
+        log.record_input(1.0, "wget http://x/y")
+        log.record_output(1.5, "saved")
+        path = tmp_path / "session.tty"
+        log.dump(path)
+        loaded = TtyLog.load(path)
+        assert loaded.session_id == "s42"
+        assert loaded.entries == log.entries
+
+    def test_replay_instant(self):
+        log = TtyLog("s1")
+        log.record_input(1.0, "ls")
+        log.record_output(1.1, "bin  tmp")
+        chunks = []
+        count = log.replay(chunks.append)
+        assert count == 2
+        assert chunks == ["$ ls\n", "bin  tmp\n"]
+
+    def test_replay_timed(self):
+        log = TtyLog("s1")
+        log.record_input(0.0, "a")
+        log.record_input(10.0, "b")
+        delays = []
+        log.replay(lambda _: None, speed=2.0, sleep=delays.append)
+        assert delays == [5.0]  # 10s gap at 2x speed
+
+
+class TestAttach:
+    def test_live_session_transcription(self):
+        session = HoneypotSession(
+            honeypot_id="h", honeypot_ip=1, protocol=Protocol.SSH,
+            client_ip=2, client_port=3, start_time=0.0,
+        )
+        session.try_login("root", "pw", 0.5)
+        log = attach_ttylog(session)
+        session.input_line("uname -a; free", 1.0)
+        assert "uname -a; free" in log.input_lines
+        outputs = [e.data for e in log if e.direction is TtyDirection.OUTPUT]
+        assert any("Linux" in o for o in outputs)
+        assert any("Mem" in o for o in outputs)
+
+    def test_attach_preserves_session_behaviour(self):
+        session = HoneypotSession(
+            honeypot_id="h", honeypot_ip=1, protocol=Protocol.SSH,
+            client_ip=2, client_port=3, start_time=0.0,
+        )
+        session.try_login("root", "pw", 0.5)
+        attach_ttylog(session)
+        result = session.input_line("echo x > /tmp/f", 1.0)
+        assert result.file_changes
+        assert session.commands == ["echo x > /tmp/f"]

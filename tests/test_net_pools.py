@@ -1,0 +1,119 @@
+"""Tests for address pools and prefix allocators."""
+
+import pytest
+
+from repro.net.ip import IPv4Prefix, format_ip
+from repro.net.pools import AddressPool, PoolRegistry, PrefixAllocator
+from repro.simulation.rng import RngStream
+
+
+class TestPrefixAllocator:
+    def test_allocates_disjoint_children(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"), 24)
+        a = alloc.allocate()
+        b = alloc.allocate()
+        assert a != b
+        assert not a.contains(b.network)
+
+    def test_capacity(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"), 24)
+        assert alloc.capacity == 256
+
+    def test_exhaustion(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/30"), 31)
+        alloc.allocate()
+        alloc.allocate()
+        with pytest.raises(RuntimeError):
+            alloc.allocate()
+
+    def test_child_smaller_than_parent_rejected(self):
+        with pytest.raises(ValueError):
+            PrefixAllocator(IPv4Prefix.parse("10.0.0.0/24"), 16)
+
+    def test_allocated_tracking(self):
+        alloc = PrefixAllocator(IPv4Prefix.parse("10.0.0.0/16"), 24)
+        alloc.allocate()
+        alloc.allocate()
+        assert len(alloc.allocated) == 2
+
+
+class TestAddressPool:
+    def test_sequential_unique(self):
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/28")])
+        addrs = [pool.allocate_sequential() for _ in range(16)]
+        assert len(set(addrs)) == 16
+
+    def test_sequential_in_order(self):
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/30")])
+        assert format_ip(pool.allocate_sequential()) == "192.0.2.0"
+        assert format_ip(pool.allocate_sequential()) == "192.0.2.1"
+
+    def test_sequential_exhaustion(self):
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/31")])
+        pool.allocate_sequential()
+        pool.allocate_sequential()
+        with pytest.raises(RuntimeError):
+            pool.allocate_sequential()
+
+    def test_sample_unique(self):
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/24")])
+        rng = RngStream(1, "pool")
+        addrs = pool.sample_many(rng, 100)
+        assert len(set(addrs)) == 100
+
+    def test_sample_within_prefixes(self):
+        prefix = IPv4Prefix.parse("198.51.100.0/24")
+        pool = AddressPool([prefix])
+        rng = RngStream(2, "pool")
+        for _ in range(50):
+            assert prefix.contains(pool.sample(rng))
+
+    def test_multiple_prefixes(self):
+        p1 = IPv4Prefix.parse("192.0.2.0/30")
+        p2 = IPv4Prefix.parse("198.51.100.0/30")
+        pool = AddressPool([p1, p2])
+        addrs = [pool.allocate_sequential() for _ in range(8)]
+        assert sum(p1.contains(a) for a in addrs) == 4
+        assert sum(p2.contains(a) for a in addrs) == 4
+
+    def test_sample_exhaustion_dense(self):
+        pool = AddressPool([IPv4Prefix.parse("192.0.2.0/30")])
+        rng = RngStream(3, "pool")
+        pool.sample_many(rng, 4)
+        with pytest.raises(RuntimeError):
+            pool.sample(rng)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            AddressPool([])
+
+    def test_capacity(self):
+        pool = AddressPool([IPv4Prefix.parse("10.0.0.0/24"),
+                            IPv4Prefix.parse("10.1.0.0/24")])
+        assert pool.capacity == 512
+
+    def test_contains(self):
+        pool = AddressPool([IPv4Prefix.parse("10.0.0.0/24")])
+        from repro.net.ip import parse_ip
+        assert pool.contains(parse_ip("10.0.0.5"))
+        assert not pool.contains(parse_ip("10.0.1.5"))
+
+
+class TestPoolRegistry:
+    def test_register_and_get(self):
+        registry = PoolRegistry()
+        pool = AddressPool([IPv4Prefix.parse("10.0.0.0/24")])
+        registry.register("as1", pool)
+        assert registry.get("as1") is pool
+        assert registry["as1"] is pool
+        assert "as1" in registry
+
+    def test_duplicate_rejected(self):
+        registry = PoolRegistry()
+        pool = AddressPool([IPv4Prefix.parse("10.0.0.0/24")])
+        registry.register("as1", pool)
+        with pytest.raises(ValueError):
+            registry.register("as1", pool)
+
+    def test_get_missing(self):
+        assert PoolRegistry().get("nope") is None

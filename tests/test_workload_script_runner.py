@@ -1,0 +1,77 @@
+"""Tests for the script profiler (single real execution per script)."""
+
+import pytest
+
+from repro.agents.scripts import ScriptKind, build_script
+from repro.workload.script_runner import ScriptRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return ScriptRunner()
+
+
+class TestProfiles:
+    def test_recon_profile(self, runner):
+        profile = runner.profile(build_script(ScriptKind.RECON, token="r1"))
+        assert profile.commands
+        assert profile.hashes == ()
+        assert profile.uris == ()
+        assert not profile.creates_files
+        assert profile.exec_seconds > 0
+
+    def test_key_inject_one_hash(self, runner):
+        profile = runner.profile(build_script(ScriptKind.KEY_INJECT, token="K1"))
+        assert len(profile.hashes) == 1
+        assert profile.primary_hash == profile.hashes[0]
+        assert profile.uris == ()
+
+    def test_key_inject_token_specific_hash(self, runner):
+        a = runner.profile(build_script(ScriptKind.KEY_INJECT, token="KA"))
+        b = runner.profile(build_script(ScriptKind.KEY_INJECT, token="KB"))
+        assert a.hashes != b.hashes
+
+    def test_dropper_profile(self, runner):
+        profile = runner.profile(
+            build_script(ScriptKind.DROPPER, token="D1", dropper_host="198.51.100.77")
+        )
+        assert profile.uris  # remote fetch recorded
+        assert len(set(profile.hashes)) == 1  # one campaign binary hash
+        assert profile.download_seconds > 0
+        # Downloads lengthen the session (timeout-reset behaviour).
+        assert profile.exec_seconds > len(build_script(
+            ScriptKind.DROPPER, token="D1").lines) * 2.5 - 1e-6
+
+    def test_dropper_fallback_transports_share_hash(self, runner):
+        profile = runner.profile(
+            build_script(ScriptKind.DROPPER, token="D2", dropper_host="198.51.100.78")
+        )
+        # wget and the tftp fallback both fire; the payload hash is shared.
+        assert len(set(profile.hashes)) == 1
+
+    def test_chpasswd_token_specific_shadow(self, runner):
+        a = runner.profile(build_script(ScriptKind.CHPASSWD, token="CA"))
+        b = runner.profile(build_script(ScriptKind.CHPASSWD, token="CB"))
+        assert a.hashes and b.hashes
+        assert set(a.hashes).isdisjoint(b.hashes)
+
+    def test_file_token_singleton_hash(self, runner):
+        a = runner.profile(build_script(ScriptKind.FILE_TOKEN, token="T-1"))
+        b = runner.profile(build_script(ScriptKind.FILE_TOKEN, token="T-2"))
+        assert len(a.hashes) == 1
+        assert a.hashes != b.hashes
+
+    def test_miner_profile(self, runner):
+        profile = runner.profile(build_script(ScriptKind.MINER, token="M1"))
+        assert profile.uris
+        assert profile.hashes
+
+    def test_cache_returns_same_object(self, runner):
+        t = build_script(ScriptKind.RECON, token="cache-me")
+        assert runner.profile(t) is runner.profile(t)
+
+    def test_deterministic_across_runners(self):
+        a = ScriptRunner().profile(build_script(ScriptKind.KEY_INJECT, token="DET"))
+        b = ScriptRunner().profile(build_script(ScriptKind.KEY_INJECT, token="DET"))
+        assert a.hashes == b.hashes
+        assert a.commands == b.commands

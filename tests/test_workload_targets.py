@@ -1,0 +1,82 @@
+"""Tests for client target sets and campaign pot subsets."""
+
+import numpy as np
+import pytest
+
+from repro.geo.continents import Continent
+from repro.simulation.rng import RngStream
+from repro.workload.targets import TargetIndex, build_subset, subset_selector
+
+
+@pytest.fixture
+def index():
+    rng = RngStream(31, "targets")
+    weights = rng.random_array(50) + 0.1
+    session_w = rng.random_array(50) + 0.1
+    countries = (["US"] * 20) + (["DE"] * 15) + (["SG"] * 15)
+    return TargetIndex(rng, weights, session_w, countries)
+
+
+class TestTargetIndex:
+    def test_build_respects_breadth(self, index):
+        sets = index.build_for(np.array([1, 5, 50, 200]))
+        assert len(sets[0].pots) == 1
+        assert len(sets[1].pots) == 5
+        assert len(sets[2].pots) == 50
+        assert len(sets[3].pots) == 50  # clamped to farm size
+
+    def test_pots_distinct(self, index):
+        sets = index.build_for(np.array([20]))
+        assert len(set(sets[0].pots.tolist())) == 20
+
+    def test_choose_within_set(self, index):
+        target = index.build_for(np.array([7]))[0]
+        for u in (0.0, 0.3, 0.6, 0.999):
+            assert target.choose(u) in set(target.pots.tolist())
+
+    def test_cumulative_monotone(self, index):
+        target = index.build_for(np.array([10]))[0]
+        assert np.all(np.diff(target.cumulative) >= 0)
+        assert target.cumulative[-1] == 1.0
+
+    def test_pots_on_continent(self, index):
+        na = index.pots_on_continent(Continent.NORTH_AMERICA)
+        eu = index.pots_on_continent(Continent.EUROPE)
+        asia = index.pots_on_continent(Continent.ASIA)
+        assert len(na) == 20
+        assert len(eu) == 15
+        assert len(asia) == 15
+        assert len(index.pots_on_continent(Continent.AFRICA)) == 0
+
+
+class TestSubsets:
+    def test_build_subset_size(self):
+        rng = RngStream(32, "subset")
+        weights = rng.random_array(100) + 0.1
+        subset = build_subset(rng, 100, 30, weights)
+        assert len(subset) == 30
+        assert len(set(subset.tolist())) == 30
+
+    def test_build_subset_full(self):
+        rng = RngStream(33, "subset")
+        subset = build_subset(rng, 20, 20, np.ones(20))
+        assert np.array_equal(subset, np.arange(20))
+
+    def test_build_subset_clamps(self):
+        rng = RngStream(34, "subset")
+        assert len(build_subset(rng, 10, 500, np.ones(10))) == 10
+
+    def test_subset_selector(self):
+        rng = RngStream(35, "subset")
+        session_w = rng.random_array(100) + 0.1
+        pots = build_subset(rng, 100, 10, np.ones(100))
+        selector = subset_selector(pots, session_w)
+        for u in (0.0, 0.5, 0.99):
+            assert selector.choose(u) in set(pots.tolist())
+
+    def test_weighted_sampling_prefers_heavy(self):
+        rng = RngStream(36, "subset")
+        weights = np.ones(50)
+        weights[7] = 500.0
+        hits = sum(7 in build_subset(rng, 50, 5, weights) for _ in range(50))
+        assert hits > 40

@@ -1,0 +1,129 @@
+"""Tests for temporal envelopes and honeypot weight vectors."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.clock import OBSERVATION_DAYS
+from repro.simulation.rng import RngStream
+from repro.workload.temporal import (
+    DAY_SPIKE_SEP5,
+    RU_EDGE_EARLY_END,
+    RU_EDGE_LATE_START,
+    build_envelopes,
+    honeypot_weight_vectors,
+    ru_edge_weight,
+    sample_active_days,
+)
+
+
+@pytest.fixture(scope="module")
+def envelopes():
+    return build_envelopes(RngStream(17, "env"))
+
+
+class TestEnvelopes:
+    def test_all_categories(self, envelopes):
+        assert set(envelopes) == {"NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD_URI"}
+
+    def test_normalised(self, envelopes):
+        for env in envelopes.values():
+            assert env.sum() == pytest.approx(1.0)
+            assert (env >= 0).all()
+            assert len(env) == OBSERVATION_DAYS
+
+    def test_scanning_ramps_up(self, envelopes):
+        env = envelopes["NO_CRED"]
+        assert env[:30].mean() < env[250:280].mean()
+
+    def test_fail_log_sep5_spike(self, envelopes):
+        env = envelopes["FAIL_LOG"]
+        baseline = np.median(env)
+        assert env[DAY_SPIKE_SEP5] > 4 * baseline
+
+    def test_no_cmd_edges_elevated(self, envelopes):
+        env = envelopes["NO_CMD"]
+        middle = env[RU_EDGE_EARLY_END + 30:RU_EDGE_LATE_START - 30].mean()
+        assert env[:RU_EDGE_EARLY_END].mean() > 2 * middle
+        assert env[RU_EDGE_LATE_START:].mean() > 2 * middle
+
+    def test_cmd_drops_mid_2022(self, envelopes):
+        env = envelopes["CMD"]
+        # Intense until ~July 2022 (day ~210), then a drop.
+        assert env[60:180].mean() > env[260:330].mean()
+
+    def test_deterministic(self):
+        a = build_envelopes(RngStream(17, "env"))
+        b = build_envelopes(RngStream(17, "env"))
+        for cat in a:
+            assert np.allclose(a[cat], b[cat])
+
+
+class TestRuEdgeWeight:
+    def test_edges_high(self):
+        assert ru_edge_weight(0) > 0.5
+        assert ru_edge_weight(OBSERVATION_DAYS - 1) > 0.5
+
+    def test_middle_low(self):
+        assert ru_edge_weight((RU_EDGE_EARLY_END + RU_EDGE_LATE_START) // 2) < 0.1
+
+
+class TestActiveDays:
+    def test_single_day(self, envelopes):
+        days = sample_active_days(RngStream(1, "d"), 100, 1, envelopes["NO_CRED"])
+        assert list(days) == [100]
+
+    def test_first_day_always_active(self, envelopes):
+        days = sample_active_days(RngStream(2, "d"), 50, 10, envelopes["NO_CRED"])
+        assert 50 in days
+
+    def test_count_and_window(self, envelopes):
+        days = sample_active_days(RngStream(3, "d"), 200, 20, envelopes["NO_CRED"])
+        assert 1 <= len(days) <= 20
+        assert days.min() >= 200
+        assert days.max() < OBSERVATION_DAYS
+
+    def test_days_sorted_unique(self, envelopes):
+        days = sample_active_days(RngStream(4, "d"), 10, 50, envelopes["FAIL_LOG"])
+        assert np.all(np.diff(days) > 0)
+
+    def test_near_window_end(self, envelopes):
+        days = sample_active_days(RngStream(5, "d"), OBSERVATION_DAYS - 3, 10,
+                                  envelopes["CMD"])
+        assert days.max() < OBSERVATION_DAYS
+
+    def test_first_day_clamped(self, envelopes):
+        days = sample_active_days(RngStream(6, "d"), OBSERVATION_DAYS + 10, 1,
+                                  envelopes["CMD"])
+        assert days[0] == OBSERVATION_DAYS - 1
+
+
+class TestWeightVectors:
+    def test_three_distinct_vectors(self):
+        s, c, h = honeypot_weight_vectors(RngStream(7, "w"), 221)
+        assert not np.allclose(s, c)
+        assert not np.allclose(s, h)
+
+    def test_normalised(self):
+        for w in honeypot_weight_vectors(RngStream(8, "w"), 221):
+            assert w.sum() == pytest.approx(1.0)
+            assert (w > 0).all()
+
+    def test_top_sets_differ(self):
+        s, c, h = honeypot_weight_vectors(RngStream(9, "w"), 221)
+        top_s = set(np.argsort(s)[::-1][:10].tolist())
+        top_c = set(np.argsort(c)[::-1][:10].tolist())
+        assert top_s != top_c
+
+    def test_session_top10_share_near_target(self):
+        s, _, _ = honeypot_weight_vectors(RngStream(10, "w"), 221)
+        share = np.sort(s)[::-1][:10].sum()
+        assert 0.06 < share < 0.18
+
+    def test_skewed_spread(self):
+        s, _, _ = honeypot_weight_vectors(RngStream(11, "w"), 221)
+        assert s.max() / s.min() > 5
+
+    def test_small_farm_degenerates_gracefully(self):
+        s, c, h = honeypot_weight_vectors(RngStream(12, "w"), 5)
+        assert len(s) == 5
+        assert s.sum() == pytest.approx(1.0)
