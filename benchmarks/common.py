@@ -7,9 +7,20 @@ output can be compared to the paper by eye.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import os
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
+
+
+def workers_from_env() -> Optional[int]:
+    """Worker count for dataset generation, from ``REPRO_WORKERS``.
+
+    Unset or empty means the serial single-pass generator; any positive
+    integer selects the sharded generator with that many processes.
+    """
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    return int(raw) if raw else None
 
 #: Narration collected during the run; the benchmarks' conftest flushes it
 #: through the terminal reporter at session end, because pytest's capture

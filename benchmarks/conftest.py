@@ -3,7 +3,8 @@
 One scaled trace is generated per pytest session and shared by every
 benchmark.  Scale is controlled by ``REPRO_BENCH_SCALE`` (the downscale
 denominator vs the paper's 402M sessions; default 1000 -> ~402k sessions,
-all 221 honeypots, all 486 days).
+all 221 honeypots, all 486 days).  Set ``REPRO_WORKERS=N`` to generate the
+trace with the sharded multiprocess generator instead of the serial one.
 """
 
 from __future__ import annotations
@@ -20,10 +21,9 @@ DEFAULT_DENOMINATOR = 1000
 
 def bench_config() -> ScenarioConfig:
     denominator = int(os.environ.get("REPRO_BENCH_SCALE", DEFAULT_DENOMINATOR))
-    return ScenarioConfig(
-        scale=1.0 / denominator,
+    return ScenarioConfig.from_denominator(
+        denominator,
         seed=int(os.environ.get("REPRO_BENCH_SEED", 2023)),
-        hash_scale=min(0.08, 80.0 / denominator),
     )
 
 
@@ -44,8 +44,10 @@ def pytest_terminal_summary(terminalreporter):
 
 @pytest.fixture(scope="session")
 def dataset():
+    import common
+
     config = bench_config()
-    return generate_dataset(config)
+    return generate_dataset(config, workers=common.workers_from_env())
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the full unit/integration suite plus a sharded-generation
+# calibration smoke test (2 workers, 1/40000 scale — a few seconds).
+#
+# Run from the repository root:  bash scripts/ci.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+echo "== sharded generation smoke (validate, 2 workers) =="
+python -m repro validate --scale 40000 --workers 2

@@ -14,24 +14,51 @@ import argparse
 import sys
 
 
+def _scale(value: str) -> float:
+    """Parse ``--scale``: a denominator ("4000") or a fraction ("1/4000").
+
+    Values > 1 are downscale denominators vs the paper's 402 M sessions;
+    values in (0, 1] are the session-volume fraction directly.  Both
+    spellings of the same scale produce the same config.
+    """
+    try:
+        if "/" in value:
+            num, _, den = value.partition("/")
+            parsed = float(num) / float(den)
+        else:
+            parsed = float(value)
+    except ZeroDivisionError:
+        raise argparse.ArgumentTypeError("--scale denominator must be nonzero")
+    if parsed <= 0:
+        raise argparse.ArgumentTypeError("--scale must be positive")
+    return parsed
+
+
 def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", type=int, default=4000,
+    parser.add_argument("--scale", type=_scale, default=4000.0,
                         help="downscale denominator vs the paper's 402M "
-                             "sessions (default 4000)")
+                             "sessions (e.g. 4000), or the fraction itself "
+                             "(0.00025 or 1/4000); default 4000")
     parser.add_argument("--seed", type=int, default=2023)
     parser.add_argument("--hash-scale", type=float, default=None,
                         help="unique-hash budget vs the paper's 64k "
                              "(default: derived from --scale)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="generate with N worker processes (sharded "
+                             "mode; output is identical for every N). "
+                             "Default: the single-pass serial generator")
 
 
 def _config(args):
     from repro.workload import ScenarioConfig
 
-    hash_scale = args.hash_scale
-    if hash_scale is None:
-        hash_scale = min(0.08, 80.0 / args.scale)
-    return ScenarioConfig(scale=1.0 / args.scale, seed=args.seed,
-                          hash_scale=hash_scale)
+    denominator = args.scale if args.scale > 1 else 1.0 / args.scale
+    extra = {}
+    if args.hash_scale is not None:
+        extra["hash_scale"] = args.hash_scale
+    return ScenarioConfig.from_denominator(
+        denominator, seed=args.seed, **extra
+    )
 
 
 def cmd_generate(args) -> int:
@@ -42,7 +69,7 @@ def cmd_generate(args) -> int:
     config = _config(args)
     print(f"generating {config.total_sessions:,} sessions "
           f"(seed {config.seed}) ...", file=sys.stderr)
-    dataset = generate_dataset(config)
+    dataset = generate_dataset(config, workers=args.workers)
     if args.out.endswith((".jsonl", ".jsonl.gz")):
         count = write_jsonl(iter(dataset.store), args.out)
         print(f"wrote {count:,} records to {args.out}")
@@ -56,7 +83,7 @@ def cmd_report(args) -> int:
     from repro.core.report import print_summary
     from repro.workload import generate_dataset
 
-    dataset = generate_dataset(_config(args))
+    dataset = generate_dataset(_config(args), workers=args.workers)
     print(print_summary(dataset))
     return 0
 
@@ -71,7 +98,7 @@ def cmd_tables(args) -> int:
     )
     from repro.workload import generate_dataset
 
-    dataset = generate_dataset(_config(args))
+    dataset = generate_dataset(_config(args), workers=args.workers)
     store = dataset.store
     labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns
               if c.primary_hash}
@@ -87,13 +114,16 @@ def cmd_tables(args) -> int:
     print("\nTable 3 — top commands")
     print(format_table(table3_commands(store, 15), ["command", "sessions"]))
     hash_tables = tables_4_5_6(store, dataset.intel, labels)
-    for key, title in (("by_sessions", "Table 4 — top hashes by sessions"),
-                       ("by_clients", "Table 5 — top hashes by client IPs"),
-                       ("by_days", "Table 6 — top hashes by active days")):
+    for rows, title in ((hash_tables.by_sessions,
+                         "Table 4 — top hashes by sessions"),
+                        (hash_tables.by_clients,
+                         "Table 5 — top hashes by client IPs"),
+                        (hash_tables.by_days,
+                         "Table 6 — top hashes by active days")):
         print(f"\n{title}")
         print(format_table(
             [(r.hash_label, r.n_sessions, r.n_clients, r.n_days, r.tag,
-              r.n_honeypots) for r in hash_tables[key]],
+              r.n_honeypots) for r in rows],
             ["hash", "sessions", "clients", "days", "tag", "pots"]))
     return 0
 
@@ -102,7 +132,7 @@ def cmd_validate(args) -> int:
     from repro.workload import generate_dataset
     from repro.workload.validation import validate
 
-    dataset = generate_dataset(_config(args))
+    dataset = generate_dataset(_config(args), workers=args.workers)
     report = validate(dataset)
     print(report.render())
     if report.passed:

@@ -16,9 +16,15 @@ tables and figures:
 * `freshness` — fresh-hash sliding-window metrics (Fig 17);
 * `tables` — Tables 1-6 builders;
 * `report` — the whole-paper report orchestrator.
+
+Every entry point accepts either a store or an
+:class:`~repro.core.context.AnalysisContext`; pass one context to several
+analyses to share the expensive intermediates (classification, the hash
+occurrence index, per-client groupbys) instead of recomputing them.
 """
 
 from repro.core.classify import Category, classify_store, category_masks
+from repro.core.context import AnalysisContext, StoreOrContext, as_context, as_store
 from repro.core.ecdf import Ecdf
 from repro.core.activity import sessions_per_honeypot, top_k_share, activity_knee
 from repro.core import (
@@ -28,6 +34,7 @@ from repro.core import (
     campaign_detect,
     classify,
     clients,
+    context,
     diversity,
     durations,
     federation,
@@ -40,6 +47,10 @@ from repro.core import (
 )
 
 __all__ = [
+    "AnalysisContext",
+    "StoreOrContext",
+    "as_context",
+    "as_store",
     "Category",
     "classify_store",
     "category_masks",
@@ -53,6 +64,7 @@ __all__ = [
     "campaign_detect",
     "classify",
     "clients",
+    "context",
     "diversity",
     "durations",
     "federation",

@@ -13,18 +13,19 @@ from typing import Optional
 
 import numpy as np
 
-from repro.store.store import SessionStore
+from repro.core.context import StoreOrContext, as_store
 
 
 def sessions_per_honeypot(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> np.ndarray:
     """Session count per honeypot index (optionally over a session mask)."""
+    store = as_store(store)
     pots = store.honeypot if mask is None else store.honeypot[mask]
     return np.bincount(pots, minlength=store.n_honeypots)
 
 
-def sorted_activity(store: SessionStore, mask: Optional[np.ndarray] = None) -> np.ndarray:
+def sorted_activity(store: StoreOrContext, mask: Optional[np.ndarray] = None) -> np.ndarray:
     """Per-honeypot session counts, descending (the Figure 2 curve)."""
     return np.sort(sessions_per_honeypot(store, mask))[::-1]
 
@@ -78,7 +79,7 @@ class ActivitySummary:
     max_min_ratio: float
 
     @classmethod
-    def compute(cls, store: SessionStore) -> "ActivitySummary":
+    def compute(cls, store: StoreOrContext) -> "ActivitySummary":
         counts = sessions_per_honeypot(store)
         return cls(
             total_sessions=int(counts.sum()),

@@ -14,26 +14,29 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.classify import CATEGORIES, classify_store
+from repro.core.classify import CATEGORIES
+from repro.core.context import StoreOrContext, as_context, as_store
 from repro.core.hashes import HashOccurrences
 from repro.geo.registry import GeoRegistry, NetworkType
 from repro.store.store import SessionStore
 
 
-def as_counts_by_category(store: SessionStore) -> Dict[str, int]:
+def as_counts_by_category(store: StoreOrContext) -> Dict[str, int]:
     """Unique client ASes per session category."""
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
     out: Dict[str, int] = {}
     for i, cat in enumerate(CATEGORIES):
-        asns = store.client_asn[codes == i]
+        asns = store.client_asn[ctx.category_mask(i)]
         out[cat.value] = len(np.unique(asns[asns >= 0]))
     return out
 
 
 def ips_per_as(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> Dict[int, int]:
     """Unique client IPs per origin AS (anonymised AS disclosure)."""
+    store = as_store(store)
     ips = store.client_ip if mask is None else store.client_ip[mask]
     asns = store.client_asn if mask is None else store.client_asn[mask]
     valid = asns >= 0
@@ -96,7 +99,7 @@ def network_type_breakdown(
 
 
 def top_ases(
-    store: SessionStore, k: int = 10, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, k: int = 10, mask: Optional[np.ndarray] = None
 ) -> List[Tuple[int, int]]:
     """(asn, unique client IPs) for the busiest origin ASes."""
     per_as = ips_per_as(store, mask)

@@ -16,7 +16,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.classify import classify_store
+from repro.core.context import StoreOrContext, as_context
 from repro.core.hashes import HashOccurrences, HashStats
 from repro.intel.database import IntelDatabase
 from repro.store.store import SessionStore
@@ -79,7 +79,7 @@ class BlocklistImpact:
 
 
 def blocklist_impact(
-    store: SessionStore,
+    store: StoreOrContext,
     occ: Optional[HashOccurrences] = None,
     blocklist_size: int = 100,
 ) -> BlocklistImpact:
@@ -90,8 +90,9 @@ def blocklist_impact(
     removes the few-IP campaigns outright but barely dents botnet-driven
     ones.
     """
-    codes = classify_store(store)
-    intrusion = codes >= 2
+    ctx = as_context(store)
+    store = ctx.store
+    intrusion = ctx.category_codes >= 2
     ips = store.client_ip[intrusion]
     if len(ips) == 0:
         return BlocklistImpact(blocklist_size, np.zeros(0, dtype=np.uint64),
@@ -103,7 +104,7 @@ def blocklist_impact(
     blocked_sessions = np.isin(ips, blocked).mean()
 
     hashes_fully_blocked = 0.0
-    occ = occ or HashOccurrences.build(store)
+    occ = occ or ctx.hash_occurrences
     if len(occ):
         hash_ips = store.client_ip[occ.session_idx]
         ip_blocked = np.isin(hash_ips, blocked)
@@ -125,8 +126,11 @@ def blocklist_impact(
 
 
 def blocklist_sweep(
-    store: SessionStore, sizes: List[int]
+    store: StoreOrContext, sizes: List[int]
 ) -> Dict[int, BlocklistImpact]:
     """Blocklist impact at several sizes (diminishing-returns curve)."""
-    occ = HashOccurrences.build(store)
-    return {size: blocklist_impact(store, occ, size) for size in sizes}
+    ctx = as_context(store)
+    return {
+        size: blocklist_impact(ctx, ctx.hash_occurrences, size)
+        for size in sizes
+    }

@@ -12,12 +12,15 @@ The flow diagram in Figure 5:
 from __future__ import annotations
 
 import enum
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 import numpy as np
 
 from repro.store.records import SessionRecord
 from repro.store.store import SessionStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import StoreOrContext
 
 
 class Category(enum.Enum):
@@ -78,15 +81,19 @@ def classify_store(store: SessionStore) -> np.ndarray:
     return codes
 
 
-def category_masks(store: SessionStore) -> Dict[Category, np.ndarray]:
+def category_masks(store: "StoreOrContext") -> Dict[Category, np.ndarray]:
     """Boolean mask per category."""
-    codes = classify_store(store)
-    return {cat: codes == i for i, cat in enumerate(CATEGORIES)}
+    from repro.core.context import as_context
+
+    ctx = as_context(store)
+    return {cat: ctx.category_mask(i) for i, cat in enumerate(CATEGORIES)}
 
 
-def category_shares(store: SessionStore) -> Dict[Category, float]:
+def category_shares(store: "StoreOrContext") -> Dict[Category, float]:
     """Fraction of all sessions in each category (Table 1 top row)."""
-    codes = classify_store(store)
+    from repro.core.context import as_context
+
+    codes = as_context(store).category_codes
     n = len(codes)
     if n == 0:
         return {cat: 0.0 for cat in CATEGORIES}
@@ -95,7 +102,7 @@ def category_shares(store: SessionStore) -> Dict[Category, float]:
     }
 
 
-def behavior_masks(store: SessionStore) -> Dict[str, np.ndarray]:
+def behavior_masks(store: "StoreOrContext") -> Dict[str, np.ndarray]:
     """Masks for the scanning / scouting / intrusion behaviours."""
     masks = category_masks(store)
     return {

@@ -13,29 +13,32 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.classify import CATEGORIES, Category, classify_store
+from repro.core.classify import CATEGORIES
+from repro.core.context import StoreOrContext, as_context, as_store
 from repro.core.ecdf import Ecdf
-from repro.store.store import SessionStore
 
 
-def unique_clients(store: SessionStore, mask: Optional[np.ndarray] = None) -> np.ndarray:
+def unique_clients(store: StoreOrContext, mask: Optional[np.ndarray] = None) -> np.ndarray:
+    store = as_store(store)
     ips = store.client_ip if mask is None else store.client_ip[mask]
     return np.unique(ips)
 
 
-def unique_client_count(store: SessionStore, mask: Optional[np.ndarray] = None) -> int:
+def unique_client_count(store: StoreOrContext, mask: Optional[np.ndarray] = None) -> int:
     return len(unique_clients(store, mask))
 
 
-def unique_as_count(store: SessionStore, mask: Optional[np.ndarray] = None) -> int:
+def unique_as_count(store: StoreOrContext, mask: Optional[np.ndarray] = None) -> int:
+    store = as_store(store)
     asns = store.client_asn if mask is None else store.client_asn[mask]
     return len(np.unique(asns[asns >= 0]))
 
 
 def clients_per_country(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> Dict[str, int]:
     """Unique client IPs per country (Figure 10 / 23)."""
+    store = as_store(store)
     ips = store.client_ip if mask is None else store.client_ip[mask]
     countries = store.client_country if mask is None else store.client_country[mask]
     # Unique (ip, country) pairs; an IP has a single country by construction.
@@ -51,22 +54,23 @@ def clients_per_country(
     }
 
 
-def clients_per_country_by_category(store: SessionStore) -> Dict[str, Dict[str, int]]:
+def clients_per_country_by_category(store: StoreOrContext) -> Dict[str, Dict[str, int]]:
     """Figure 23: per-category country distribution of client IPs."""
-    codes = classify_store(store)
+    ctx = as_context(store)
     out: Dict[str, Dict[str, int]] = {}
     for i, cat in enumerate(CATEGORIES):
-        out[cat.value] = clients_per_country(store, codes == i)
+        out[cat.value] = clients_per_country(ctx.store, ctx.category_mask(i))
     return out
 
 
-def daily_unique_ips(store: SessionStore) -> Dict[str, np.ndarray]:
+def daily_unique_ips(store: StoreOrContext) -> Dict[str, np.ndarray]:
     """Figure 11: unique client IPs per day per category."""
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
     n_days = store.n_days
     out: Dict[str, np.ndarray] = {}
     for i, cat in enumerate(CATEGORIES):
-        mask = codes == i
+        mask = ctx.category_mask(i)
         days = store.day[mask].astype(np.uint64)
         ips = store.client_ip[mask].astype(np.uint64)
         key = (ips << np.uint64(16)) | days
@@ -77,9 +81,10 @@ def daily_unique_ips(store: SessionStore) -> Dict[str, np.ndarray]:
 
 
 def honeypots_per_client(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> np.ndarray:
     """Distinct honeypots contacted per client IP (Figure 12 sample)."""
+    store = as_store(store)
     ips = store.client_ip if mask is None else store.client_ip[mask]
     pots = store.honeypot if mask is None else store.honeypot[mask]
     key = (ips.astype(np.uint64) << np.uint64(16)) | pots.astype(np.uint64)
@@ -89,19 +94,20 @@ def honeypots_per_client(
     return counts
 
 
-def honeypots_per_client_ecdfs(store: SessionStore) -> Dict[str, Ecdf]:
+def honeypots_per_client_ecdfs(store: StoreOrContext) -> Dict[str, Ecdf]:
     """Figure 12: ECDF of pots contacted per client, overall + per category."""
-    codes = classify_store(store)
-    out = {"ALL": Ecdf(honeypots_per_client(store))}
+    ctx = as_context(store)
+    out = {"ALL": Ecdf(ctx.pots_per_client)}
     for i, cat in enumerate(CATEGORIES):
-        out[cat.value] = Ecdf(honeypots_per_client(store, codes == i))
+        out[cat.value] = Ecdf(honeypots_per_client(ctx.store, ctx.category_mask(i)))
     return out
 
 
 def days_per_client(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> np.ndarray:
     """Distinct active days per client IP (Figure 13 sample)."""
+    store = as_store(store)
     ips = store.client_ip if mask is None else store.client_ip[mask]
     days = store.day if mask is None else store.day[mask]
     key = (ips.astype(np.uint64) << np.uint64(16)) | days.astype(np.uint64)
@@ -111,19 +117,20 @@ def days_per_client(
     return counts
 
 
-def days_per_client_ecdfs(store: SessionStore) -> Dict[str, Ecdf]:
+def days_per_client_ecdfs(store: StoreOrContext) -> Dict[str, Ecdf]:
     """Figure 13: ECDF of active days per client, overall + per category."""
-    codes = classify_store(store)
-    out = {"ALL": Ecdf(days_per_client(store))}
+    ctx = as_context(store)
+    out = {"ALL": Ecdf(ctx.days_per_client)}
     for i, cat in enumerate(CATEGORIES):
-        out[cat.value] = Ecdf(days_per_client(store, codes == i))
+        out[cat.value] = Ecdf(days_per_client(ctx.store, ctx.category_mask(i)))
     return out
 
 
 def clients_per_honeypot(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> np.ndarray:
     """Unique client IPs per honeypot (Figure 14)."""
+    store = as_store(store)
     ips = store.client_ip if mask is None else store.client_ip[mask]
     pots = store.honeypot if mask is None else store.honeypot[mask]
     key = (ips.astype(np.uint64) << np.uint64(16)) | pots.astype(np.uint64)
@@ -146,10 +153,11 @@ class ClientsPerHoneypot:
         return np.argsort(self.overall)[::-1]
 
 
-def clients_per_honeypot_report(store: SessionStore) -> ClientsPerHoneypot:
-    codes = classify_store(store)
+def clients_per_honeypot_report(store: StoreOrContext) -> ClientsPerHoneypot:
+    ctx = as_context(store)
+    store = ctx.store
     per_category = {
-        cat.value: clients_per_honeypot(store, codes == i)
+        cat.value: clients_per_honeypot(store, ctx.category_mask(i))
         for i, cat in enumerate(CATEGORIES)
     }
     return ClientsPerHoneypot(
@@ -159,9 +167,11 @@ def clients_per_honeypot_report(store: SessionStore) -> ClientsPerHoneypot:
     )
 
 
-def multi_category_share(store: SessionStore) -> float:
+def multi_category_share(store: StoreOrContext) -> float:
     """Fraction of client IPs appearing in more than one category."""
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
+    codes = ctx.category_codes
     key = (store.client_ip.astype(np.uint64) << np.uint64(8)) | codes.astype(np.uint64)
     unique_pairs = np.unique(key)
     pair_ips = unique_pairs >> np.uint64(8)
@@ -179,18 +189,19 @@ FIG15_COMBOS = [
 ]
 
 
-def daily_category_combinations(store: SessionStore) -> Dict[Tuple[str, ...], np.ndarray]:
+def daily_category_combinations(store: StoreOrContext) -> Dict[Tuple[str, ...], np.ndarray]:
     """Figure 15: clients per category-combination per day.
 
     For each day, clients are assigned the exact set of categories (among
     NO_CRED, FAIL_LOG, CMD) they participated in that day.
     """
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
     tracked = {"NO_CRED": 1, "FAIL_LOG": 2, "CMD": 4}
     bit = np.zeros(len(store), dtype=np.uint64)
     for i, cat in enumerate(CATEGORIES):
         if cat.value in tracked:
-            bit[codes == i] = tracked[cat.value]
+            bit[ctx.category_mask(i)] = tracked[cat.value]
     mask = bit > 0
     key = (
         (store.client_ip[mask].astype(np.uint64) << np.uint64(16))
@@ -216,11 +227,13 @@ def daily_category_combinations(store: SessionStore) -> Dict[Tuple[str, ...], np
     return out
 
 
-def clients_overall_summary(store: SessionStore) -> Dict[str, float]:
+def clients_overall_summary(store: StoreOrContext) -> Dict[str, float]:
     """Headline client numbers from Section 7."""
+    ctx = as_context(store)
+    store = ctx.store
     total = unique_client_count(store)
-    pots_counts = honeypots_per_client(store)
-    days_counts = days_per_client(store)
+    pots_counts = ctx.pots_per_client
+    days_counts = ctx.days_per_client
     n_pots = store.n_honeypots
     return {
         "unique_ips": total,
@@ -231,5 +244,5 @@ def clients_overall_summary(store: SessionStore) -> Dict[str, float]:
             float((pots_counts > n_pots / 2).mean()) if total else 0.0
         ),
         "share_single_day": float((days_counts == 1).mean()) if total else 0.0,
-        "multi_category_share": multi_category_share(store),
+        "multi_category_share": multi_category_share(ctx),
     }

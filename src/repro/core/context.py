@@ -1,0 +1,136 @@
+"""Shared, lazily memoized analysis state.
+
+``full_report`` touches nearly every analysis in :mod:`repro.core`, and many
+of them start from the same expensive intermediates: the per-session category
+codes, the hash-occurrence index, per-client groupbys.  Recomputing those in
+every function kept each one self-contained but made a full report do the
+same classification pass over a dozen times.
+
+:class:`AnalysisContext` wraps a store and computes each intermediate at most
+once, on first access.  Every ``repro.core`` entry point accepts either a
+plain :class:`~repro.store.store.SessionStore` (computing what it needs, as
+before) or a context (reusing whatever has already been computed) — call
+sites never need to change, they only get faster when they share a context.
+
+The properties resolve ``classify`` / ``hashes`` / ``clients`` through their
+modules at call time, so tests (and callers) that monkeypatch e.g.
+``repro.core.classify.classify_store`` observe exactly one call per context.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.store.store import SessionStore
+
+
+class AnalysisContext:
+    """A store plus memoized derived state shared across analyses."""
+
+    def __init__(self, store: SessionStore, intel=None):
+        self.store = store
+        self.intel = intel
+        self._category_codes: Optional[np.ndarray] = None
+        self._category_masks: Dict[int, np.ndarray] = {}
+        self._hash_occurrences = None
+        self._hash_stats = None
+        self._daily_totals: Optional[np.ndarray] = None
+        self._pots_per_client: Optional[np.ndarray] = None
+        self._days_per_client: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "AnalysisContext":
+        """Context over a :class:`HoneyfarmDataset`'s store, with its intel."""
+        return cls(dataset.store, intel=dataset.intel)
+
+    # -- memoized intermediates ---------------------------------------------
+
+    @property
+    def category_codes(self) -> np.ndarray:
+        """Per-session category codes (indices into ``classify.CATEGORIES``)."""
+        if self._category_codes is None:
+            from repro.core import classify
+
+            self._category_codes = classify.classify_store(self.store)
+        return self._category_codes
+
+    def category_mask(self, index: int) -> np.ndarray:
+        """Boolean session mask for category code ``index``."""
+        mask = self._category_masks.get(index)
+        if mask is None:
+            mask = self.category_codes == index
+            self._category_masks[index] = mask
+        return mask
+
+    @property
+    def hash_occurrences(self):
+        """The (session, hash) occurrence index (``HashOccurrences``)."""
+        if self._hash_occurrences is None:
+            from repro.core import hashes
+
+            self._hash_occurrences = hashes.HashOccurrences.build(self.store)
+        return self._hash_occurrences
+
+    @property
+    def hash_stats(self):
+        """Per-hash aggregate stats derived from :attr:`hash_occurrences`."""
+        if self._hash_stats is None:
+            from repro.core import hashes
+
+            self._hash_stats = hashes.compute_hash_stats(self.hash_occurrences)
+        return self._hash_stats
+
+    @property
+    def daily_totals(self) -> np.ndarray:
+        """Farm-wide session count per day."""
+        if self._daily_totals is None:
+            from repro.core import timeseries
+
+            self._daily_totals = timeseries.daily_totals(self.store)
+        return self._daily_totals
+
+    @property
+    def pots_per_client(self) -> np.ndarray:
+        """Distinct honeypots contacted per client IP (no mask)."""
+        if self._pots_per_client is None:
+            from repro.core import clients
+
+            self._pots_per_client = clients.honeypots_per_client(self.store)
+        return self._pots_per_client
+
+    @property
+    def days_per_client(self) -> np.ndarray:
+        """Distinct active days per client IP (no mask)."""
+        if self._days_per_client is None:
+            from repro.core import clients
+
+            self._days_per_client = clients.days_per_client(self.store)
+        return self._days_per_client
+
+
+#: What every ``repro.core`` entry point accepts in its store argument.
+StoreOrContext = Union[SessionStore, AnalysisContext]
+
+
+def as_context(obj: StoreOrContext) -> AnalysisContext:
+    """Coerce a store-or-context argument to a context.
+
+    Stores get a fresh private context (the pre-context behaviour: derived
+    state is computed on demand and shared within the one call).  Contexts
+    pass through, so repeated calls share their memoized state.
+    """
+    if isinstance(obj, AnalysisContext):
+        return obj
+    return AnalysisContext(obj)
+
+
+def as_store(obj: StoreOrContext) -> SessionStore:
+    """Unwrap a store-or-context argument to the underlying store.
+
+    For functions that only read raw columns and have nothing to memoize.
+    """
+    if isinstance(obj, AnalysisContext):
+        return obj.store
+    return obj

@@ -14,9 +14,9 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.classify import CATEGORIES, classify_store
+from repro.core.classify import CATEGORIES
+from repro.core.context import StoreOrContext, as_context, as_store
 from repro.geo.continents import COUNTRY_CONTINENT, Continent
-from repro.store.store import SessionStore
 
 #: Relation bits aggregated per (client, day).
 BIT_SAME_COUNTRY = 1
@@ -45,11 +45,12 @@ def _continent_codes(countries: Sequence[str]) -> np.ndarray:
 
 
 def session_relations(
-    store: SessionStore,
+    store: StoreOrContext,
     pot_countries: Sequence[str],
     mask: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Per-session relation bit (1, 2 or 4) between client and honeypot."""
+    store = as_store(store)
     idx = np.arange(len(store)) if mask is None else np.nonzero(mask)[0]
     client_country_ids = store.client_country[idx]
     client_codes = store.countries.values()
@@ -109,11 +110,12 @@ class DiversityReport:
 
 
 def regional_diversity(
-    store: SessionStore,
+    store: StoreOrContext,
     pot_countries: Sequence[str],
     mask: Optional[np.ndarray] = None,
 ) -> DiversityReport:
     """Aggregate session relations per (client, day) into combo classes."""
+    store = as_store(store)
     idx_mask = np.ones(len(store), dtype=bool) if mask is None else mask
     relation = session_relations(store, pot_countries, idx_mask)
     idx = np.nonzero(idx_mask)[0]
@@ -144,11 +146,13 @@ def regional_diversity(
 
 
 def diversity_by_category(
-    store: SessionStore, pot_countries: Sequence[str]
+    store: StoreOrContext, pot_countries: Sequence[str]
 ) -> Dict[str, DiversityReport]:
     """Figure 24: a diversity report per session category."""
-    codes = classify_store(store)
+    ctx = as_context(store)
     out: Dict[str, DiversityReport] = {}
     for i, cat in enumerate(CATEGORIES):
-        out[cat.value] = regional_diversity(store, pot_countries, codes == i)
+        out[cat.value] = regional_diversity(
+            ctx.store, pot_countries, ctx.category_mask(i)
+        )
     return out

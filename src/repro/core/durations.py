@@ -14,9 +14,9 @@ from typing import Dict
 
 import numpy as np
 
-from repro.core.classify import CATEGORIES, classify_store
+from repro.core.classify import CATEGORIES
+from repro.core.context import StoreOrContext, as_context
 from repro.core.ecdf import Ecdf
-from repro.store.store import SessionStore
 from repro.workload.samplers import IDLE_TIMEOUT, NO_LOGIN_TIMEOUT
 
 
@@ -39,12 +39,13 @@ class DurationReport:
         return self.ecdfs[category].median
 
 
-def duration_ecdfs(store: SessionStore) -> DurationReport:
+def duration_ecdfs(store: StoreOrContext) -> DurationReport:
     """Per-category duration ECDFs."""
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
     ecdfs: Dict[str, Ecdf] = {}
     for i, cat in enumerate(CATEGORIES):
-        ecdfs[cat.value] = Ecdf(store.duration[codes == i])
+        ecdfs[cat.value] = Ecdf(store.duration[ctx.category_mask(i)])
     return DurationReport(
         ecdfs=ecdfs,
         no_login_timeout=NO_LOGIN_TIMEOUT,
@@ -52,11 +53,12 @@ def duration_ecdfs(store: SessionStore) -> DurationReport:
     )
 
 
-def share_over(store: SessionStore, seconds: float) -> Dict[str, float]:
+def share_over(store: StoreOrContext, seconds: float) -> Dict[str, float]:
     """Fraction of sessions per category lasting longer than ``seconds``."""
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
     out: Dict[str, float] = {}
     for i, cat in enumerate(CATEGORIES):
-        durations = store.duration[codes == i]
+        durations = store.duration[ctx.category_mask(i)]
         out[cat.value] = float((durations > seconds).mean()) if len(durations) else 0.0
     return out

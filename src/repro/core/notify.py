@@ -15,10 +15,9 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.core.classify import classify_store
+from repro.core.context import StoreOrContext, as_context
 from repro.intel.database import IntelDatabase
 from repro.simulation.clock import day_to_date
-from repro.store.store import SessionStore
 
 
 @dataclass
@@ -83,13 +82,15 @@ _BEHAVIOUR_OF_CODE = {0: "scanning", 1: "scouting", 2: "intrusion",
 
 
 def build_abuse_reports(
-    store: SessionStore,
+    store: StoreOrContext,
     intel: IntelDatabase,
     min_sessions: int = 10,
     top_k_ases: Optional[int] = 50,
 ) -> List[AbuseReport]:
     """One report per origin AS with at least ``min_sessions`` sessions."""
-    codes = classify_store(store)
+    ctx = as_context(store)
+    store = ctx.store
+    codes = ctx.category_codes
     valid = store.client_asn >= 0
     asns, counts = np.unique(store.client_asn[valid], return_counts=True)
     order = np.argsort(counts)[::-1]

@@ -12,17 +12,29 @@ from typing import Dict, Optional
 
 import numpy as np
 
-from repro.core import activity, clients, diversity, durations, freshness, tables, timeseries
+from repro.core import (
+    activity,
+    asns,
+    clients,
+    diversity,
+    durations,
+    freshness,
+    tables,
+    timeseries,
+    versions,
+)
+from repro.core.blocking import blocklist_impact
 from repro.core.classify import category_shares
+from repro.core.context import AnalysisContext
+from repro.core.federation import federation_report
 from repro.core.hashes import (
-    HashOccurrences,
     campaign_length_ecdfs,
     clients_per_hash_curve,
-    compute_hash_stats,
     hashes_per_client,
     hashes_per_honeypot,
     pot_coverage_summary,
 )
+from repro.simulation.rng import RngStream
 from repro.workload.dataset import HoneyfarmDataset
 
 #: Paper-published values used for side-by-side reporting.
@@ -47,40 +59,49 @@ PAPER_VALUES = {
 }
 
 
-def full_report(dataset: HoneyfarmDataset) -> Dict:
-    """Compute every table/figure artefact once."""
-    store = dataset.store
+def full_report(
+    dataset: HoneyfarmDataset, ctx: Optional[AnalysisContext] = None
+) -> Dict:
+    """Compute every table/figure artefact once.
+
+    All analyses share one :class:`AnalysisContext` (pass ``ctx`` to reuse
+    one built elsewhere), so the expensive intermediates — session
+    classification, the hash-occurrence index, per-client groupbys — are
+    each computed a single time for the whole report.
+    """
+    ctx = ctx or AnalysisContext.from_dataset(dataset)
+    store = ctx.store
     pot_countries = [site.country for site in dataset.deployment.sites]
 
-    occ = HashOccurrences.build(store)
-    stats = compute_hash_stats(occ)
+    occ = ctx.hash_occurrences
+    stats = ctx.hash_stats
     labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns if c.primary_hash}
 
     report: Dict = {}
-    report["table1"] = tables.table1_categories(store)
-    report["table2"] = tables.table2_passwords(store)
-    report["table3"] = tables.table3_commands(store)
-    hash_tables = tables.tables_4_5_6(store, dataset.intel, labels)
-    report["table4"] = hash_tables["by_sessions"]
-    report["table5"] = hash_tables["by_clients"]
-    report["table6"] = hash_tables["by_days"]
+    report["table1"] = tables.table1_categories(ctx)
+    report["table2"] = tables.table2_passwords(ctx)
+    report["table3"] = tables.table3_commands(ctx)
+    hash_tables = tables.tables_4_5_6(ctx, dataset.intel, labels)
+    report["table4"] = hash_tables.by_sessions
+    report["table5"] = hash_tables.by_clients
+    report["table6"] = hash_tables.by_days
 
     report["fig1_pots_per_country"] = dataset.deployment.pots_per_country()
     report["fig2_activity"] = activity.ActivitySummary.compute(store)
     report["fig2_sorted_sessions"] = activity.sorted_activity(store)
     report["fig3_bands_top"] = timeseries.bands_top_honeypots(store)
     report["fig4_bands_all"] = timeseries.bands_all_honeypots(store)
-    report["fig5_category_shares"] = category_shares(store)
-    report["fig6_fractions"] = timeseries.category_fractions_over_time(store)
-    report["fig7_durations"] = durations.duration_ecdfs(store)
-    report["fig8_bands_by_category"] = timeseries.category_bands(store)
-    report["fig9_bands_by_category_top"] = timeseries.category_bands(store, 0.05)
+    report["fig5_category_shares"] = category_shares(ctx)
+    report["fig6_fractions"] = timeseries.category_fractions_over_time(ctx)
+    report["fig7_durations"] = durations.duration_ecdfs(ctx)
+    report["fig8_bands_by_category"] = timeseries.category_bands(ctx)
+    report["fig9_bands_by_category_top"] = timeseries.category_bands(ctx, 0.05)
     report["fig10_clients_by_country"] = clients.clients_per_country(store)
-    report["fig11_daily_ips"] = clients.daily_unique_ips(store)
-    report["fig12_pots_per_client"] = clients.honeypots_per_client_ecdfs(store)
-    report["fig13_days_per_client"] = clients.days_per_client_ecdfs(store)
-    report["fig14_clients_per_pot"] = clients.clients_per_honeypot_report(store)
-    report["fig15_combos"] = clients.daily_category_combinations(store)
+    report["fig11_daily_ips"] = clients.daily_unique_ips(ctx)
+    report["fig12_pots_per_client"] = clients.honeypots_per_client_ecdfs(ctx)
+    report["fig13_days_per_client"] = clients.days_per_client_ecdfs(ctx)
+    report["fig14_clients_per_pot"] = clients.clients_per_honeypot_report(ctx)
+    report["fig15_combos"] = clients.daily_category_combinations(ctx)
     report["fig16_diversity"] = diversity.regional_diversity(store, pot_countries)
     report["fig17_freshness"] = freshness.freshness_report(occ)
     report["fig18_hashes_per_pot"] = hashes_per_honeypot(occ)
@@ -88,27 +109,22 @@ def full_report(dataset: HoneyfarmDataset) -> Dict:
     report["fig20_clients_per_hash"] = clients_per_hash_curve(stats)
     report["fig21_hashes_per_client"] = hashes_per_client(occ)
     report["fig22_campaign_lengths"] = campaign_length_ecdfs(stats, store, dataset.intel)
-    report["fig23_country_by_category"] = clients.clients_per_country_by_category(store)
+    report["fig23_country_by_category"] = clients.clients_per_country_by_category(ctx)
     report["fig24_diversity_by_category"] = diversity.diversity_by_category(
-        store, pot_countries
+        ctx, pot_countries
     )
 
-    report["clients_summary"] = clients.clients_overall_summary(store)
+    report["clients_summary"] = clients.clients_overall_summary(ctx)
     report["hash_coverage"] = pot_coverage_summary(occ, stats)
     report["intel_coverage"] = dataset.intel.coverage(store.hashes.values())
 
     # Beyond-the-figures extensions (Section 9 discussion + related work).
-    from repro.core import asns, versions
-    from repro.core.blocking import blocklist_impact
-    from repro.core.federation import federation_report
-    from repro.simulation.rng import RngStream
-
-    report["ext_as_counts"] = asns.as_counts_by_category(store)
+    report["ext_as_counts"] = asns.as_counts_by_category(ctx)
     report["ext_versions"] = versions.version_counts(store)[:10]
     report["ext_federation"] = federation_report(
         occ, k=4, rng=RngStream(dataset.config.seed, "report.federation")
     )
-    report["ext_blocklist_100"] = blocklist_impact(store, occ, 100)
+    report["ext_blocklist_100"] = blocklist_impact(ctx, occ, 100)
     return report
 
 

@@ -15,10 +15,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.classify import CATEGORIES, Category, classify_store
-from repro.core.hashes import HashOccurrences, HashTableRow, compute_hash_stats, top_hash_table
+from repro.core.classify import CATEGORIES
+from repro.core.context import StoreOrContext, as_context, as_store
+from repro.core.hashes import HashTableRow, top_hash_table
 from repro.intel.database import IntelDatabase
-from repro.store.store import PROTOCOL_SSH, PROTOCOL_TELNET, SessionStore
+from repro.store.store import PROTOCOL_SSH, PROTOCOL_TELNET
 
 
 @dataclass
@@ -30,14 +31,15 @@ class CategoryTable:
     protocol_totals: Dict[str, float]  # "ssh"/"telnet" -> share of sessions
 
 
-def table1_categories(store: SessionStore) -> CategoryTable:
-    codes = classify_store(store)
+def table1_categories(store: StoreOrContext) -> CategoryTable:
+    ctx = as_context(store)
+    store = ctx.store
     n = max(len(store), 1)
     overall: Dict[str, float] = {}
     ssh_share: Dict[str, float] = {}
     is_ssh = store.protocol == PROTOCOL_SSH
     for i, cat in enumerate(CATEGORIES):
-        mask = codes == i
+        mask = ctx.category_mask(i)
         count = int(mask.sum())
         overall[cat.value] = count / n
         ssh_share[cat.value] = float(is_ssh[mask].mean()) if count else 0.0
@@ -51,8 +53,9 @@ def table1_categories(store: SessionStore) -> CategoryTable:
     )
 
 
-def table2_passwords(store: SessionStore, k: int = 10) -> List[Tuple[str, int]]:
+def table2_passwords(store: StoreOrContext, k: int = 10) -> List[Tuple[str, int]]:
     """Table 2: top successful passwords by login count."""
+    store = as_store(store)
     mask = store.login_success & (store.password_id >= 0)
     counts = np.bincount(store.password_id[mask], minlength=len(store.passwords))
     order = np.argsort(counts)[::-1]
@@ -64,12 +67,12 @@ def table2_passwords(store: SessionStore, k: int = 10) -> List[Tuple[str, int]]:
     return out
 
 
-def failed_usernames(store: SessionStore, k: int = 10) -> List[Tuple[str, int]]:
+def failed_usernames(store: StoreOrContext, k: int = 10) -> List[Tuple[str, int]]:
     """Most used usernames on failing sessions (Section 6 mentions
     "nproc", "admin" and "user" at the top)."""
-    codes = classify_store(store)
-    fail = codes == 1
-    mask = fail & (store.username_id >= 0)
+    ctx = as_context(store)
+    store = ctx.store
+    mask = ctx.category_mask(1) & (store.username_id >= 0)
     counts = np.bincount(store.username_id[mask], minlength=len(store.usernames))
     order = np.argsort(counts)[::-1]
     out: List[Tuple[str, int]] = []
@@ -80,13 +83,14 @@ def failed_usernames(store: SessionStore, k: int = 10) -> List[Tuple[str, int]]:
     return out
 
 
-def table3_commands(store: SessionStore, k: int = 20) -> List[Tuple[str, int]]:
+def table3_commands(store: StoreOrContext, k: int = 20) -> List[Tuple[str, int]]:
     """Table 3: most popular commands, weighted by session occurrences.
 
     The store interns command scripts, so the count of a command is the sum
     of sessions over the scripts containing it (commands are already split
     at ";" and "|" by the shell, matching the paper's method).
     """
+    store = as_store(store)
     script_sessions = np.bincount(
         store.script_id[store.script_id >= 0], minlength=len(store.scripts)
     )
@@ -99,20 +103,54 @@ def table3_commands(store: SessionStore, k: int = 20) -> List[Tuple[str, int]]:
     return counter.most_common(k)
 
 
+@dataclass
+class HashTables:
+    """Tables 4/5/6: the top-k hashes under each of the paper's orderings.
+
+    Supports ``tables.by_sessions`` attribute access and, for callers
+    written against the old dict return type, ``tables["by_sessions"]``.
+    """
+
+    by_sessions: List[HashTableRow]
+    by_clients: List[HashTableRow]
+    by_days: List[HashTableRow]
+
+    #: The orderings, in table number order (4, 5, 6).
+    KEYS = ("by_sessions", "by_clients", "by_days")
+
+    def __getitem__(self, key: str) -> List[HashTableRow]:
+        if key not in self.KEYS:
+            raise KeyError(key)
+        return getattr(self, key)
+
+    def __iter__(self):
+        return iter(self.KEYS)
+
+    def keys(self) -> Tuple[str, ...]:
+        return self.KEYS
+
+    def values(self) -> List[List[HashTableRow]]:
+        return [getattr(self, key) for key in self.KEYS]
+
+    def items(self) -> List[Tuple[str, List[HashTableRow]]]:
+        return [(key, getattr(self, key)) for key in self.KEYS]
+
+
 def tables_4_5_6(
-    store: SessionStore,
+    store: StoreOrContext,
     intel: IntelDatabase,
     labels: Optional[Dict[str, str]] = None,
     k: int = 20,
-) -> Dict[str, List[HashTableRow]]:
+) -> HashTables:
     """The three top-20 hash tables."""
-    occ = HashOccurrences.build(store)
-    stats = compute_hash_stats(occ)
-    return {
-        "by_sessions": top_hash_table(stats, store, intel, "sessions", k, labels),
-        "by_clients": top_hash_table(stats, store, intel, "clients", k, labels),
-        "by_days": top_hash_table(stats, store, intel, "days", k, labels),
-    }
+    ctx = as_context(store)
+    store = ctx.store
+    stats = ctx.hash_stats
+    return HashTables(
+        by_sessions=top_hash_table(stats, store, intel, "sessions", k, labels),
+        by_clients=top_hash_table(stats, store, intel, "clients", k, labels),
+        by_days=top_hash_table(stats, store, intel, "days", k, labels),
+    )
 
 
 def format_table(rows: List[Tuple], headers: List[str]) -> str:

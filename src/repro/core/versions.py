@@ -13,14 +13,15 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.classify import CATEGORIES, classify_store
-from repro.store.store import SessionStore
+from repro.core.classify import CATEGORIES
+from repro.core.context import StoreOrContext, as_context, as_store
 
 
 def version_counts(
-    store: SessionStore, mask: Optional[np.ndarray] = None
+    store: StoreOrContext, mask: Optional[np.ndarray] = None
 ) -> List[Tuple[str, int]]:
     """(version, session count) sorted by popularity."""
+    store = as_store(store)
     versions = store.version_id if mask is None else store.version_id[mask]
     versions = versions[versions >= 0]
     counts = np.bincount(versions, minlength=len(store.versions))
@@ -32,27 +33,29 @@ def version_counts(
     ]
 
 
-def versions_by_category(store: SessionStore) -> Dict[str, List[Tuple[str, int]]]:
-    codes = classify_store(store)
+def versions_by_category(store: StoreOrContext) -> Dict[str, List[Tuple[str, int]]]:
+    ctx = as_context(store)
     return {
-        cat.value: version_counts(store, codes == i)
+        cat.value: version_counts(ctx.store, ctx.category_mask(i))
         for i, cat in enumerate(CATEGORIES)
     }
 
 
-def version_offer_rate(store: SessionStore) -> float:
+def version_offer_rate(store: StoreOrContext) -> float:
     """Fraction of SSH sessions that offered a client version string."""
+    store = as_store(store)
     ssh = store.is_ssh
     if not ssh.any():
         return 0.0
     return float((store.version_id[ssh] >= 0).mean())
 
 
-def distinct_tools(store: SessionStore) -> int:
+def distinct_tools(store: StoreOrContext) -> int:
     """Number of distinct client version strings observed.
 
     Ghiëtte et al. identified 49 distinct SSH tools in a month of data;
     the count here plays the same role for the synthetic trace.
     """
+    store = as_store(store)
     observed = np.unique(store.version_id[store.version_id >= 0])
     return len(observed)

@@ -58,5 +58,21 @@ class FarmCollector:
 
     # -- results ----------------------------------------------------------------
 
+    def merge(self, other: "FarmCollector") -> None:
+        """Fold another collector's sessions and counters into this one.
+
+        Lets several collectors run independently (one per worker, or one
+        per honeypot group) and be combined afterwards; interned string ids
+        are remapped by the store layer during adoption.
+        """
+        self.builder.adopt(other.builder)
+        self.sessions_total += other.sessions_total
+        for pot, count in other.sessions_by_honeypot.items():
+            self.sessions_by_honeypot[pot] = (
+                self.sessions_by_honeypot.get(pot, 0) + count
+            )
+        if self.keep_events:
+            self.events.extend(other.events)
+
     def build_store(self) -> SessionStore:
         return self.builder.build()

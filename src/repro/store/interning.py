@@ -47,3 +47,10 @@ class StringTable:
 
     def values(self) -> List[str]:
         return list(self._strings)
+
+    def copy(self) -> "StringTable":
+        """An independent table with the same contents and ids."""
+        out = StringTable()
+        out._strings = list(self._strings)
+        out._ids = dict(self._ids)
+        return out

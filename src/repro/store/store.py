@@ -184,6 +184,101 @@ class StoreBuilder:
         self._version_id.extend(int(x) for x in version_id)
         self._hash_ids.extend(hash_ids)
 
+    # -- shard / merge support -------------------------------------------------
+
+    def fork_tables(self) -> "StoreBuilder":
+        """A new empty builder sharing this builder's interned tables.
+
+        The copy starts with identical table contents (so every id interned
+        here resolves to the same string there) but accumulates its own
+        rows and its own new table entries.  This is the shard-generation
+        primitive: workers fork the base tables, emit rows, and the parent
+        :meth:`adopt`\\ s the results back in a deterministic order.
+        """
+        out = StoreBuilder()
+        out.honeypots = self.honeypots.copy()
+        out.countries = self.countries.copy()
+        out.passwords = self.passwords.copy()
+        out.usernames = self.usernames.copy()
+        out.hashes = self.hashes.copy()
+        out.versions = self.versions.copy()
+        out.scripts = list(self.scripts)
+        out._script_ids = dict(self._script_ids)
+        return out
+
+    def _table_remaps(self, other: "StoreBuilder"):
+        """Id-remap lists from ``other``'s tables into this builder's.
+
+        Shared prefixes (e.g. after :meth:`fork_tables`) remap to
+        themselves; new entries are interned here, in ``other``'s order.
+        """
+        return {
+            "honeypot": [self.honeypots.intern(v) for v in other.honeypots.values()],
+            "country": [self.countries.intern(v) for v in other.countries.values()],
+            "password": [self.passwords.intern(v) for v in other.passwords.values()],
+            "username": [self.usernames.intern(v) for v in other.usernames.values()],
+            "hash": [self.hashes.intern(v) for v in other.hashes.values()],
+            "version": [self.versions.intern(v) for v in other.versions.values()],
+            "script": [self.intern_script(s.commands, s.uris) for s in other.scripts],
+        }
+
+    def adopt(self, other: "StoreBuilder") -> None:
+        """Append all of ``other``'s rows, remapping its interned ids.
+
+        ``other`` may share a table prefix with this builder (the
+        fork/adopt shard path, where the remap is mostly the identity) or
+        be entirely unrelated (merging independently collected stores).
+        """
+        remap = self._table_remaps(other)
+        hp, co = remap["honeypot"], remap["country"]
+        pw, un, ve, sc = (remap["password"], remap["username"],
+                          remap["version"], remap["script"])
+        ha = remap["hash"]
+        self._start.extend(other._start)
+        self._duration.extend(other._duration)
+        self._honeypot.extend(hp[i] for i in other._honeypot)
+        self._protocol.extend(other._protocol)
+        self._client_ip.extend(other._client_ip)
+        self._client_asn.extend(other._client_asn)
+        self._client_country.extend(co[i] for i in other._client_country)
+        self._n_attempts.extend(other._n_attempts)
+        self._login_success.extend(other._login_success)
+        self._script_id.extend(sc[i] if i >= 0 else -1 for i in other._script_id)
+        self._password_id.extend(pw[i] if i >= 0 else -1 for i in other._password_id)
+        self._username_id.extend(un[i] if i >= 0 else -1 for i in other._username_id)
+        self._close_reason.extend(other._close_reason)
+        self._version_id.extend(ve[i] if i >= 0 else -1 for i in other._version_id)
+        self._hash_ids.extend(
+            tuple(ha[h] for h in ids) for ids in other._hash_ids
+        )
+
+    def adopt_store(self, store: "SessionStore") -> None:
+        """Append a frozen store's rows, remapping its interned ids."""
+        other = StoreBuilder()
+        other.honeypots = store.honeypots
+        other.countries = store.countries
+        other.passwords = store.passwords
+        other.usernames = store.usernames
+        other.hashes = store.hashes
+        other.versions = store.versions
+        other.scripts = list(store.scripts)
+        other._start = store.start_time.tolist()
+        other._duration = store.duration.tolist()
+        other._honeypot = store.honeypot.tolist()
+        other._protocol = store.protocol.tolist()
+        other._client_ip = store.client_ip.tolist()
+        other._client_asn = store.client_asn.tolist()
+        other._client_country = store.client_country.tolist()
+        other._n_attempts = store.n_attempts.tolist()
+        other._login_success = store.login_success.tolist()
+        other._script_id = store.script_id.tolist()
+        other._password_id = store.password_id.tolist()
+        other._username_id = store.username_id.tolist()
+        other._close_reason = store.close_reason.tolist()
+        other._version_id = store.version_id.tolist()
+        other._hash_ids = list(store.hash_ids)
+        self.adopt(other)
+
     def build(self) -> "SessionStore":
         """Freeze the accumulated rows into an immutable columnar store."""
         n_commands = np.zeros(len(self._start), dtype=np.uint16)
@@ -304,6 +399,24 @@ class SessionStore:
     @property
     def n_days(self) -> int:
         return int(self.day.max()) + 1 if len(self) else 0
+
+    # -- merging ---------------------------------------------------------------
+
+    @classmethod
+    def merge(cls, stores: Sequence["SessionStore"]) -> "SessionStore":
+        """Concatenate frozen stores into one, re-interning side-table ids.
+
+        Rows keep their per-store order and stores are concatenated in the
+        order given, so a deterministic shard order yields a deterministic
+        merged store regardless of how the shards were produced.  Interned
+        ids are remapped table-by-table: shared prefixes (shards forked
+        from one base builder) map to themselves, new entries are appended
+        in first-seen order.
+        """
+        builder = StoreBuilder()
+        for store in stores:
+            builder.adopt_store(store)
+        return builder.build()
 
     # -- row access ------------------------------------------------------------
 

@@ -285,56 +285,69 @@ class CampaignEngine:
     def emit(self, campaign: RealizedCampaign) -> int:
         """Emit all sessions for one realised campaign. Returns the count."""
         rng = self.rng.child(f"emit.{campaign.spec.campaign_id}")
-        pop = self.population
         emitted = 0
+        for day, n in sorted(campaign.schedule.items()):
+            emitted += self.emit_day(campaign, day, n, rng)
+        return emitted
+
+    def emit_campaign_day(
+        self, campaign: RealizedCampaign, day: int, n: int
+    ) -> int:
+        """Sharded-path emission of one campaign day from its own stream."""
+        rng = self.rng.child(f"emit.{campaign.spec.campaign_id}.d{day}")
+        return self.emit_day(campaign, day, n, rng)
+
+    def emit_day(
+        self, campaign: RealizedCampaign, day: int, n: int, rng: RngStream
+    ) -> int:
+        """Emit one day of a campaign. Returns the session count (== ``n``)."""
+        pop = self.population
         is_uri = campaign.spec.kind in URI_KINDS
         pool = campaign.pool
 
-        for day, n in sorted(campaign.schedule.items()):
-            members = campaign.members_by_day.get(day)
-            if members is None or len(members) == 0:
-                members = np.arange(len(pool))
-            weights = campaign.pool_weights[members]
-            counts = rng.multinomial(n, weights / weights.sum())
-            active = np.nonzero(counts)[0]
-            clients = np.repeat(pool[members[active]], counts[active])
-            m = len(clients)
-            if m == 0:
-                continue
+        members = campaign.members_by_day.get(day)
+        if members is None or len(members) == 0:
+            members = np.arange(len(pool))
+        weights = campaign.pool_weights[members]
+        counts = rng.multinomial(n, weights / weights.sum())
+        active = np.nonzero(counts)[0]
+        clients = np.repeat(pool[members[active]], counts[active])
+        m = len(clients)
+        if m == 0:
+            return 0
 
-            start = day * SECONDS_PER_DAY + rng.uniform_array(0, SECONDS_PER_DAY, m)
-            protocol = protocol_array(rng, m, campaign.spec.ssh_share)
-            exec_seconds = np.full(m, campaign.profile.exec_seconds)
-            duration, close, attempts = cmd_fields(rng, m, exec_seconds)
+        start = day * SECONDS_PER_DAY + rng.uniform_array(0, SECONDS_PER_DAY, m)
+        protocol = protocol_array(rng, m, campaign.spec.ssh_share)
+        exec_seconds = np.full(m, campaign.profile.exec_seconds)
+        duration, close, attempts = cmd_fields(rng, m, exec_seconds)
 
-            pots = self._choose_pots(rng, campaign, clients, m, is_uri)
+        pots = self._choose_pots(rng, campaign, clients, m, is_uri)
 
-            if campaign.password_id >= 0:
-                password = np.full(m, campaign.password_id, dtype=np.int32)
-            else:
-                password = self.emitter.success_passwords(rng, m)
-            username = np.full(m, self.emitter.root_id, dtype=np.int32)
-            versions = self.emitter.client_versions(rng, m, protocol)
+        if campaign.password_id >= 0:
+            password = np.full(m, campaign.password_id, dtype=np.int32)
+        else:
+            password = self.emitter.success_passwords(rng, m)
+        username = np.full(m, self.emitter.root_id, dtype=np.int32)
+        versions = self.emitter.client_versions(rng, m, protocol)
 
-            self.emitter.append_block(
-                start_time=start,
-                duration=duration,
-                honeypot=pots,
-                protocol=protocol,
-                client_ip=pop.ip[clients],
-                client_asn=pop.asn[clients],
-                client_country=pop.country[clients].astype(np.int32),
-                n_attempts=attempts,
-                login_success=np.ones(m, dtype=bool),
-                script_id=[campaign.script_id] * m,
-                password_id=password,
-                username_id=username,
-                hash_ids=[campaign.hash_ids] * m,
-                close_reason=close,
-                version_id=versions,
-            )
-            emitted += m
-        return emitted
+        self.emitter.append_block(
+            start_time=start,
+            duration=duration,
+            honeypot=pots,
+            protocol=protocol,
+            client_ip=pop.ip[clients],
+            client_asn=pop.asn[clients],
+            client_country=pop.country[clients].astype(np.int32),
+            n_attempts=attempts,
+            login_success=np.ones(m, dtype=bool),
+            script_id=[campaign.script_id] * m,
+            password_id=password,
+            username_id=username,
+            hash_ids=[campaign.hash_ids] * m,
+            close_reason=close,
+            version_id=versions,
+        )
+        return m
 
     def _choose_pots(
         self,

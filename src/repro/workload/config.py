@@ -79,6 +79,20 @@ class ScenarioConfig:
             derived = int(FULL_SCALE_CLIENTS * self.scale * 4)
             self.n_clients = max(1_500, min(derived, FULL_SCALE_CLIENTS))
 
+    @classmethod
+    def from_denominator(cls, denominator: float, **kwargs) -> "ScenarioConfig":
+        """Config from the downscale denominator vs the paper's 402 M.
+
+        ``from_denominator(4000)`` is ``ScenarioConfig(scale=1/4000)`` —
+        the spelling the CLI and benchmarks use.  Unless overridden,
+        ``hash_scale`` is derived the same way the CLI derives it
+        (80/denominator, capped at the full-scale default).
+        """
+        if denominator <= 0:
+            raise ValueError("denominator must be positive")
+        kwargs.setdefault("hash_scale", min(0.08, 80.0 / denominator))
+        return cls(scale=1.0 / denominator, **kwargs)
+
     @property
     def total_sessions(self) -> int:
         return int(FULL_SCALE_SESSIONS * self.scale)

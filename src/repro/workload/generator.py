@@ -247,51 +247,53 @@ class TraceGenerator:
         budget = self.config.sessions_for("NO_CRED")
         budgets = _daily_budgets(budget, self.envelopes["NO_CRED"])
         rng = self.rng.child("no_cred")
-        pop = self.population
         for day in range(self.config.n_days):
             n = int(budgets[day])
             if n <= 0:
                 continue
-            clients = self._active_clients("NO_CRED", day, rng)
-            if len(clients) == 0:
-                continue
-            idx = self._expand_day(rng, clients, n)
-            m = len(idx)
-            duration, close = no_cred_fields(rng, m)
-            protocol = protocol_array(rng, m, SSH_SHARE["NO_CRED"])
-            neg = np.full(m, -1, dtype=np.int32)
-            self.emitter.append_block(
-                start_time=self._start_times(rng, day, m),
-                duration=duration,
-                honeypot=self._pots_for(rng, idx),
-                protocol=protocol,
-                client_ip=pop.ip[idx],
-                client_asn=pop.asn[idx],
-                client_country=pop.country[idx].astype(np.int32),
-                n_attempts=np.zeros(m, dtype=np.uint16),
-                login_success=np.zeros(m, dtype=bool),
-                script_id=[-1] * m,
-                password_id=neg,
-                username_id=neg,
-                hash_ids=[()] * m,
-                close_reason=close,
-                version_id=self.emitter.client_versions(rng, m, protocol),
-            )
+            self._no_cred_day(rng, day, n)
 
-    def _emit_fail_log(self) -> None:
-        budget = self.config.sessions_for("FAIL_LOG")
-        budgets = _daily_budgets(budget, self.envelopes["FAIL_LOG"])
-        rng = self.rng.child("fail_log")
+    def _no_cred_day(self, rng: RngStream, day: int, n: int) -> None:
         pop = self.population
+        clients = self._active_clients("NO_CRED", day, rng)
+        if len(clients) == 0:
+            return
+        idx = self._expand_day(rng, clients, n)
+        m = len(idx)
+        duration, close = no_cred_fields(rng, m)
+        protocol = protocol_array(rng, m, SSH_SHARE["NO_CRED"])
+        neg = np.full(m, -1, dtype=np.int32)
+        self.emitter.append_block(
+            start_time=self._start_times(rng, day, m),
+            duration=duration,
+            honeypot=self._pots_for(rng, idx),
+            protocol=protocol,
+            client_ip=pop.ip[idx],
+            client_asn=pop.asn[idx],
+            client_country=pop.country[idx].astype(np.int32),
+            n_attempts=np.zeros(m, dtype=np.uint16),
+            login_success=np.zeros(m, dtype=bool),
+            script_id=[-1] * m,
+            password_id=neg,
+            username_id=neg,
+            hash_ids=[()] * m,
+            close_reason=close,
+            version_id=self.emitter.client_versions(rng, m, protocol),
+        )
 
-        # The big FAIL_LOG spikes (2022-09-05, 2022-11-05) are driven by a
-        # handful of source IPs hammering a small pot subset — the paper
-        # notes spikes are "often due to activity seen by only a small
-        # subset of the honeypots" (Fig 9).
+    def _fail_log_setup(
+        self, rng: RngStream
+    ) -> Tuple[set, np.ndarray, np.ndarray]:
+        """Fixed spike configuration: days, source clients, target pots.
+
+        The big FAIL_LOG spikes (2022-09-05, 2022-11-05) are driven by a
+        handful of source IPs hammering a small pot subset — the paper
+        notes spikes are "often due to activity seen by only a small
+        subset of the honeypots" (Fig 9).
+        """
         from repro.workload.temporal import DAY_SPIKE_NOV5, DAY_SPIKE_SEP5
         spike_days = {DAY_SPIKE_SEP5, DAY_SPIKE_SEP5 + 1, DAY_SPIKE_NOV5}
-        baseline = float(np.median(budgets[budgets > 0])) if (budgets > 0).any() else 0.0
-        scout_clients = pop.with_role(ClientRole.SCOUT)
+        scout_clients = self.population.with_role(ClientRole.SCOUT)
         spike_rng = rng.child("spikes")
         if len(scout_clients):
             picked = spike_rng.choice_indices(
@@ -301,43 +303,63 @@ class TraceGenerator:
         else:
             spike_client_idx = np.zeros(0, dtype=np.int64)
         spike_pots = np.argsort(self.session_weights)[::-1][:3].astype(np.int64)
+        return spike_days, spike_client_idx, spike_pots
+
+    def _emit_fail_log(self) -> None:
+        budget = self.config.sessions_for("FAIL_LOG")
+        budgets = _daily_budgets(budget, self.envelopes["FAIL_LOG"])
+        rng = self.rng.child("fail_log")
+        baseline = float(np.median(budgets[budgets > 0])) if (budgets > 0).any() else 0.0
+        spike = self._fail_log_setup(rng)
 
         for day in range(self.config.n_days):
             n = int(budgets[day])
             if n <= 0:
                 continue
-            if day in spike_days and len(spike_client_idx) and n > baseline:
-                surplus = int(n - baseline)
-                self._emit_fail_log_spike(rng, day, surplus,
-                                          spike_client_idx, spike_pots)
-                n -= surplus
-                if n <= 0:
-                    continue
-            clients = self._active_clients("FAIL_LOG", day, rng)
-            if len(clients) == 0:
-                continue
-            idx = self._expand_day(rng, clients, n)
-            m = len(idx)
-            protocol = protocol_array(rng, m, SSH_SHARE["FAIL_LOG"])
-            duration, close, attempts = fail_log_fields(rng, m, protocol == 0)
-            users, passwords = self.emitter.fail_credentials(rng, m)
-            self.emitter.append_block(
-                start_time=self._start_times(rng, day, m),
-                duration=duration,
-                honeypot=self._pots_for(rng, idx),
-                protocol=protocol,
-                client_ip=pop.ip[idx],
-                client_asn=pop.asn[idx],
-                client_country=pop.country[idx].astype(np.int32),
-                n_attempts=attempts,
-                login_success=np.zeros(m, dtype=bool),
-                script_id=[-1] * m,
-                password_id=passwords,
-                username_id=users,
-                hash_ids=[()] * m,
-                close_reason=close,
-                version_id=self.emitter.client_versions(rng, m, protocol),
-            )
+            self._fail_log_day(rng, day, n, baseline, spike)
+
+    def _fail_log_day(
+        self,
+        rng: RngStream,
+        day: int,
+        n: int,
+        baseline: float,
+        spike: Tuple[set, np.ndarray, np.ndarray],
+    ) -> None:
+        spike_days, spike_client_idx, spike_pots = spike
+        pop = self.population
+        if day in spike_days and len(spike_client_idx) and n > baseline:
+            surplus = int(n - baseline)
+            self._emit_fail_log_spike(rng, day, surplus,
+                                      spike_client_idx, spike_pots)
+            n -= surplus
+            if n <= 0:
+                return
+        clients = self._active_clients("FAIL_LOG", day, rng)
+        if len(clients) == 0:
+            return
+        idx = self._expand_day(rng, clients, n)
+        m = len(idx)
+        protocol = protocol_array(rng, m, SSH_SHARE["FAIL_LOG"])
+        duration, close, attempts = fail_log_fields(rng, m, protocol == 0)
+        users, passwords = self.emitter.fail_credentials(rng, m)
+        self.emitter.append_block(
+            start_time=self._start_times(rng, day, m),
+            duration=duration,
+            honeypot=self._pots_for(rng, idx),
+            protocol=protocol,
+            client_ip=pop.ip[idx],
+            client_asn=pop.asn[idx],
+            client_country=pop.country[idx].astype(np.int32),
+            n_attempts=attempts,
+            login_success=np.zeros(m, dtype=bool),
+            script_id=[-1] * m,
+            password_id=passwords,
+            username_id=users,
+            hash_ids=[()] * m,
+            close_reason=close,
+            version_id=self.emitter.client_versions(rng, m, protocol),
+        )
 
     def _emit_fail_log_spike(
         self,
@@ -377,77 +399,92 @@ class TraceGenerator:
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
 
-    def _emit_no_cmd(self) -> None:
-        budget = self.config.sessions_for("NO_CMD")
-        budgets = _daily_budgets(budget, self.envelopes["NO_CMD"])
-        rng = self.rng.child("no_cmd")
-        pop = self.population
+    def _no_cmd_setup(self, rng: RngStream) -> Tuple[_RuPrefixClients, np.ndarray]:
         ru_count = max(8, int(48 * self.config.ip_scale * 10))
         ru_index = self.population.country_codes.index("RU")
         ru = _RuPrefixClients(self.registry, rng.child("ru"), ru_count, ru_index)
         # The RU prefix targets a broad, fixed slice of the farm.
         ru_pots = np.arange(self.n_pots, dtype=np.int32)
+        return ru, ru_pots
+
+    def _emit_no_cmd(self) -> None:
+        budget = self.config.sessions_for("NO_CMD")
+        budgets = _daily_budgets(budget, self.envelopes["NO_CMD"])
+        rng = self.rng.child("no_cmd")
+        ru, ru_pots = self._no_cmd_setup(rng)
 
         for day in range(self.config.n_days):
             n = int(budgets[day])
             if n <= 0:
                 continue
-            n_ru = int(round(n * ru_edge_weight(day)))
-            n_regular = n - n_ru
+            self._no_cmd_day(rng, day, n, ru, ru_pots)
 
-            if n_ru > 0:
-                counts = rng.multinomial(n_ru, ru.rates)
-                nz = np.nonzero(counts)[0]
-                ips = np.repeat(ru.ips[nz], counts[nz])
-                m = len(ips)
-                duration, close, attempts = no_cmd_fields(rng, m)
-                protocol = protocol_array(rng, m, SSH_SHARE["NO_CMD"])
-                pot_pick = rng.choice_indices(len(ru_pots), size=m)
-                self.emitter.append_block(
-                    start_time=self._start_times(rng, day, m),
-                    duration=duration,
-                    honeypot=ru_pots[np.asarray(pot_pick)].tolist(),
-                    protocol=protocol,
-                    client_ip=ips,
-                    client_asn=np.full(m, ru.asn, dtype=np.int32),
-                    client_country=np.full(m, ru.country_index, dtype=np.int32),
-                    n_attempts=attempts,
-                    login_success=np.ones(m, dtype=bool),
-                    script_id=[-1] * m,
-                    password_id=self.emitter.success_passwords(rng, m),
-                    username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-                    hash_ids=[()] * m,
-                    close_reason=close,
-                    version_id=self.emitter.client_versions(rng, m, protocol),
-                )
+    def _no_cmd_day(
+        self,
+        rng: RngStream,
+        day: int,
+        n: int,
+        ru: _RuPrefixClients,
+        ru_pots: np.ndarray,
+    ) -> None:
+        pop = self.population
+        n_ru = int(round(n * ru_edge_weight(day)))
+        n_regular = n - n_ru
 
-            if n_regular > 0:
-                clients = self._active_clients("NO_CMD", day, rng)
-                if len(clients) == 0:
-                    continue
-                idx = self._expand_day(rng, clients, n_regular)
-                m = len(idx)
-                duration, close, attempts = no_cmd_fields(rng, m)
-                protocol = protocol_array(rng, m, SSH_SHARE["NO_CMD"])
-                self.emitter.append_block(
-                    start_time=self._start_times(rng, day, m),
-                    duration=duration,
-                    honeypot=self._pots_for(rng, idx),
-                    protocol=protocol,
-                    client_ip=pop.ip[idx],
-                    client_asn=pop.asn[idx],
-                    client_country=pop.country[idx].astype(np.int32),
-                    n_attempts=attempts,
-                    login_success=np.ones(m, dtype=bool),
-                    script_id=[-1] * m,
-                    password_id=self.emitter.success_passwords(rng, m),
-                    username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-                    hash_ids=[()] * m,
-                    close_reason=close,
-                    version_id=self.emitter.client_versions(rng, m, protocol),
-                )
+        if n_ru > 0:
+            counts = rng.multinomial(n_ru, ru.rates)
+            nz = np.nonzero(counts)[0]
+            ips = np.repeat(ru.ips[nz], counts[nz])
+            m = len(ips)
+            duration, close, attempts = no_cmd_fields(rng, m)
+            protocol = protocol_array(rng, m, SSH_SHARE["NO_CMD"])
+            pot_pick = rng.choice_indices(len(ru_pots), size=m)
+            self.emitter.append_block(
+                start_time=self._start_times(rng, day, m),
+                duration=duration,
+                honeypot=ru_pots[np.asarray(pot_pick)].tolist(),
+                protocol=protocol,
+                client_ip=ips,
+                client_asn=np.full(m, ru.asn, dtype=np.int32),
+                client_country=np.full(m, ru.country_index, dtype=np.int32),
+                n_attempts=attempts,
+                login_success=np.ones(m, dtype=bool),
+                script_id=[-1] * m,
+                password_id=self.emitter.success_passwords(rng, m),
+                username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
+                hash_ids=[()] * m,
+                close_reason=close,
+                version_id=self.emitter.client_versions(rng, m, protocol),
+            )
 
-    def _emit_campaigns(self) -> None:
+        if n_regular > 0:
+            clients = self._active_clients("NO_CMD", day, rng)
+            if len(clients) == 0:
+                return
+            idx = self._expand_day(rng, clients, n_regular)
+            m = len(idx)
+            duration, close, attempts = no_cmd_fields(rng, m)
+            protocol = protocol_array(rng, m, SSH_SHARE["NO_CMD"])
+            self.emitter.append_block(
+                start_time=self._start_times(rng, day, m),
+                duration=duration,
+                honeypot=self._pots_for(rng, idx),
+                protocol=protocol,
+                client_ip=pop.ip[idx],
+                client_asn=pop.asn[idx],
+                client_country=pop.country[idx].astype(np.int32),
+                n_attempts=attempts,
+                login_success=np.ones(m, dtype=bool),
+                script_id=[-1] * m,
+                password_id=self.emitter.success_passwords(rng, m),
+                username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
+                hash_ids=[()] * m,
+                close_reason=close,
+                version_id=self.emitter.client_versions(rng, m, protocol),
+            )
+
+    def _realize_campaigns(self) -> None:
+        """Realise and rescale all campaigns without emitting any sessions."""
         rng = self.rng.child("midtail")
         specs = marquee_campaigns() + midtail_campaigns(
             self.config.n_midtail_campaigns, rng, self.config.intel_coverage
@@ -470,6 +507,8 @@ class TraceGenerator:
                     if r.category == category:
                         r.schedule = _rescale_schedule(r.schedule, factor)
 
+    def _emit_campaigns(self) -> None:
+        self._realize_campaigns()
         for r in self.realized:
             emitted = self.engine.emit(r)
             self._campaign_sessions[r.category] += emitted
@@ -532,13 +571,83 @@ class TraceGenerator:
                 emitted += 1
         self._campaign_sessions["CMD"] += emitted  # counts against CMD budget
 
-    def _emit_background_cmd(self) -> None:
-        """Recon-only CMD sessions (no file writes, no URIs)."""
-        budget = self.config.sessions_for("CMD") - self._campaign_sessions["CMD"]
-        if budget <= 0:
-            return
-        rng = self.rng.child("bg_cmd")
+    # -- singleton writers, sharded path --------------------------------------
+    #
+    # The sharded pipeline gives every writer its own named rng stream so a
+    # writer's sessions are identical no matter which worker emits them.
+    # Selection reuses the first draw of the serial path's stream, so both
+    # paths pick the same writers.
+
+    def _singleton_writers(self) -> np.ndarray:
+        """Deterministic singleton-writer selection (population indices)."""
+        rng = self.rng.child("singletons")
+        cmd_clients = self.population.with_role(ClientRole.CMD)
+        n_writers = min(self.config.n_singleton_hashes, len(cmd_clients))
+        if n_writers == 0:
+            return np.zeros(0, dtype=np.int64)
+        picked = rng.choice_indices(len(cmd_clients), size=n_writers, replace=False)
+        return cmd_clients[np.asarray(picked)]
+
+    def _singleton_writer_rng(self, w: int) -> RngStream:
+        return self.rng.child("singletons").child(f"w{w}")
+
+    def _singleton_writer_plan(self, wrng: RngStream, w: int) -> Tuple[int, int]:
+        """(target pot, session count) for one writer — first draws on its stream."""
+        target_pots = self.targets[w].pots
+        pot = int(target_pots[wrng.randint(0, len(target_pots))])
+        n_sessions = 1 + wrng.randint(0, 3)
+        return pot, n_sessions
+
+    def _singleton_session_total(self, writers: np.ndarray) -> int:
+        """Total sessions the writers will emit (re-derivable in any worker)."""
+        total = 0
+        for w in writers:
+            w = int(w)
+            _pot, n_sessions = self._singleton_writer_plan(
+                self._singleton_writer_rng(w), w
+            )
+            total += n_sessions
+        return total
+
+    def _singleton_writer_emit(self, w: int) -> None:
+        """Emit one writer's sessions into ``self.builder`` (sharded path)."""
         pop = self.population
+        w = int(w)
+        wrng = self._singleton_writer_rng(w)
+        pot, n_sessions = self._singleton_writer_plan(wrng, w)
+        token = f"bg-{w}-{int(pop.ip[w])}"
+        profile = self.runner.profile(build_script(ScriptKind.FILE_TOKEN, token=token))
+        script_id = self.builder.intern_script(profile.commands, profile.uris)
+        hash_ids = tuple(self.builder.hashes.intern(h) for h in profile.hashes)
+        day0 = int(pop.first_day[w])
+        for _s in range(n_sessions):
+            day = min(day0 + wrng.randint(0, max(1, int(pop.n_days[w]))),
+                      self.config.n_days - 1)
+            start = day * SECONDS_PER_DAY + wrng.uniform(0, SECONDS_PER_DAY)
+            duration, close, attempts = cmd_fields(
+                wrng, 1, np.array([profile.exec_seconds])
+            )
+            protocol = protocol_array(wrng, 1, SSH_SHARE["CMD"])
+            self.builder.append_interned(
+                start_time=float(start),
+                duration=float(duration[0]),
+                honeypot_id=pot,
+                protocol=int(protocol[0]),
+                client_ip=int(pop.ip[w]),
+                client_asn=int(pop.asn[w]),
+                client_country_id=int(pop.country[w]),
+                n_attempts=int(attempts[0]),
+                login_success=True,
+                script_id=script_id,
+                password_id=int(self.emitter.success_passwords(wrng, 1)[0]),
+                username_id=self.emitter.root_id,
+                hash_ids=hash_ids,
+                close_reason_id=int(close[0]),
+                version_id=-1,
+            )
+
+    def _bg_cmd_profiles(self) -> Tuple[int, np.ndarray, np.ndarray]:
+        """Intern the fixed recon/fileless script set into ``self.builder``."""
         profiles = []
         for i in range(16):
             kind = ScriptKind.RECON if i % 3 else ScriptKind.FILELESS
@@ -548,47 +657,62 @@ class TraceGenerator:
             dtype=np.int64,
         )
         exec_secs = np.array([p.exec_seconds for p in profiles])
+        return len(profiles), script_ids, exec_secs
+
+    def _emit_background_cmd(self) -> None:
+        """Recon-only CMD sessions (no file writes, no URIs)."""
+        budget = self.config.sessions_for("CMD") - self._campaign_sessions["CMD"]
+        if budget <= 0:
+            return
+        rng = self.rng.child("bg_cmd")
+        pack = self._bg_cmd_profiles()
 
         budgets = _daily_budgets(budget, self.envelopes["CMD"])
         for day in range(self.config.n_days):
             n = int(budgets[day])
             if n <= 0:
                 continue
-            clients = self._active_clients("CMD", day, rng)
-            if len(clients) == 0:
-                continue
-            idx = self._expand_day(rng, clients, n)
-            m = len(idx)
-            # Clients keep using the same tooling: script choice is stable
-            # in the client index.
-            prof_idx = idx % len(profiles)
-            duration, close, attempts = cmd_fields(rng, m, exec_secs[prof_idx])
-            protocol = protocol_array(rng, m, SSH_SHARE["CMD"])
-            self.emitter.append_block(
-                start_time=self._start_times(rng, day, m),
-                duration=duration,
-                honeypot=self._pots_for(rng, idx),
-                protocol=protocol,
-                client_ip=pop.ip[idx],
-                client_asn=pop.asn[idx],
-                client_country=pop.country[idx].astype(np.int32),
-                n_attempts=attempts,
-                login_success=np.ones(m, dtype=bool),
-                script_id=script_ids[prof_idx].tolist(),
-                password_id=self.emitter.success_passwords(rng, m),
-                username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-                hash_ids=[()] * m,
-                close_reason=close,
-                version_id=self.emitter.client_versions(rng, m, protocol),
-            )
+            self._bg_cmd_day(rng, day, n, pack)
 
-    def _emit_background_uri(self) -> None:
-        """Uncatalogued dropper sessions filling the CMD+URI budget."""
-        budget = self.config.sessions_for("CMD_URI") - self._campaign_sessions["CMD_URI"]
-        if budget <= 0:
-            return
-        rng = self.rng.child("bg_uri")
+    def _bg_cmd_day(
+        self,
+        rng: RngStream,
+        day: int,
+        n: int,
+        pack: Tuple[int, np.ndarray, np.ndarray],
+    ) -> None:
+        n_profiles, script_ids, exec_secs = pack
         pop = self.population
+        clients = self._active_clients("CMD", day, rng)
+        if len(clients) == 0:
+            return
+        idx = self._expand_day(rng, clients, n)
+        m = len(idx)
+        # Clients keep using the same tooling: script choice is stable
+        # in the client index.
+        prof_idx = idx % n_profiles
+        duration, close, attempts = cmd_fields(rng, m, exec_secs[prof_idx])
+        protocol = protocol_array(rng, m, SSH_SHARE["CMD"])
+        self.emitter.append_block(
+            start_time=self._start_times(rng, day, m),
+            duration=duration,
+            honeypot=self._pots_for(rng, idx),
+            protocol=protocol,
+            client_ip=pop.ip[idx],
+            client_asn=pop.asn[idx],
+            client_country=pop.country[idx].astype(np.int32),
+            n_attempts=attempts,
+            login_success=np.ones(m, dtype=bool),
+            script_id=script_ids[prof_idx].tolist(),
+            password_id=self.emitter.success_passwords(rng, m),
+            username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
+            hash_ids=[()] * m,
+            close_reason=close,
+            version_id=self.emitter.client_versions(rng, m, protocol),
+        )
+
+    def _bg_uri_profiles(self) -> Tuple[int, np.ndarray, List[Tuple[int, ...]], np.ndarray]:
+        """Intern the uncatalogued dropper script set into ``self.builder``."""
         n_profiles = max(12, int(self.config.n_hashes_target * 0.03))
         profiles = [
             self.runner.profile(
@@ -608,7 +732,9 @@ class TraceGenerator:
             tuple(self.builder.hashes.intern(h) for h in p.hashes) for p in profiles
         ]
         exec_secs = np.array([p.exec_seconds for p in profiles])
+        return len(profiles), script_ids, hash_tuples, exec_secs
 
+    def _bg_uri_budgets(self, budget: int) -> np.ndarray:
         # Concentrate the URI budget on days where URI-capable clients are
         # naturally active: the paper's CMD+URI activity is bursty and its
         # client IPs are short-lived (Figs 11/13).
@@ -618,37 +744,58 @@ class TraceGenerator:
         )
         envelope = self.envelopes["CMD_URI"] * np.where(bucket_sizes > 0, 1.0, 0.02)
         envelope = envelope / envelope.sum()
-        budgets = _daily_budgets(budget, envelope)
+        return _daily_budgets(budget, envelope)
+
+    def _emit_background_uri(self) -> None:
+        """Uncatalogued dropper sessions filling the CMD+URI budget."""
+        budget = self.config.sessions_for("CMD_URI") - self._campaign_sessions["CMD_URI"]
+        if budget <= 0:
+            return
+        rng = self.rng.child("bg_uri")
+        pack = self._bg_uri_profiles()
+
+        budgets = self._bg_uri_budgets(budget)
         for day in range(self.config.n_days):
             n = int(budgets[day])
             if n <= 0:
                 continue
-            clients = self._active_clients("CMD_URI", day, rng)
-            if len(clients) == 0:
-                continue
-            idx = self._expand_day(rng, clients, n)
-            m = len(idx)
-            prof_idx = idx % len(profiles)
-            duration, close, attempts = cmd_fields(rng, m, exec_secs[prof_idx])
-            protocol = protocol_array(rng, m, SSH_SHARE["CMD_URI"])
-            pots = self._local_biased_pots(rng, idx)
-            self.emitter.append_block(
-                start_time=self._start_times(rng, day, m),
-                duration=duration,
-                honeypot=pots,
-                protocol=protocol,
-                client_ip=pop.ip[idx],
-                client_asn=pop.asn[idx],
-                client_country=pop.country[idx].astype(np.int32),
-                n_attempts=attempts,
-                login_success=np.ones(m, dtype=bool),
-                script_id=script_ids[prof_idx].tolist(),
-                password_id=self.emitter.success_passwords(rng, m),
-                username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-                hash_ids=[hash_tuples[int(i)] for i in prof_idx],
-                close_reason=close,
-                version_id=self.emitter.client_versions(rng, m, protocol),
-            )
+            self._bg_uri_day(rng, day, n, pack)
+
+    def _bg_uri_day(
+        self,
+        rng: RngStream,
+        day: int,
+        n: int,
+        pack: Tuple[int, np.ndarray, List[Tuple[int, ...]], np.ndarray],
+    ) -> None:
+        n_profiles, script_ids, hash_tuples, exec_secs = pack
+        pop = self.population
+        clients = self._active_clients("CMD_URI", day, rng)
+        if len(clients) == 0:
+            return
+        idx = self._expand_day(rng, clients, n)
+        m = len(idx)
+        prof_idx = idx % n_profiles
+        duration, close, attempts = cmd_fields(rng, m, exec_secs[prof_idx])
+        protocol = protocol_array(rng, m, SSH_SHARE["CMD_URI"])
+        pots = self._local_biased_pots(rng, idx)
+        self.emitter.append_block(
+            start_time=self._start_times(rng, day, m),
+            duration=duration,
+            honeypot=pots,
+            protocol=protocol,
+            client_ip=pop.ip[idx],
+            client_asn=pop.asn[idx],
+            client_country=pop.country[idx].astype(np.int32),
+            n_attempts=attempts,
+            login_success=np.ones(m, dtype=bool),
+            script_id=script_ids[prof_idx].tolist(),
+            password_id=self.emitter.success_passwords(rng, m),
+            username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
+            hash_ids=[hash_tuples[int(i)] for i in prof_idx],
+            close_reason=close,
+            version_id=self.emitter.client_versions(rng, m, protocol),
+        )
 
     def _local_biased_pots(self, rng: RngStream, idx: np.ndarray) -> List[int]:
         """Target choice with the CMD+URI locality bias (Fig 16b).
@@ -680,18 +827,8 @@ class TraceGenerator:
 
     # -- orchestration ---------------------------------------------------------------
 
-    def run(self) -> HoneyfarmDataset:
-        self._build_day_buckets()
-        self._emit_campaigns()
-        self._emit_singleton_writers()
-        self._emit_background_cmd()
-        self._emit_background_uri()
-        self._emit_no_cred()
-        self._emit_fail_log()
-        self._emit_no_cmd()
-
-        store = self.builder.build()
-        campaigns = [
+    def _campaign_runtimes(self) -> List[CampaignRuntime]:
+        return [
             CampaignRuntime(
                 campaign_id=r.spec.campaign_id,
                 tag=r.spec.tag.value,
@@ -704,17 +841,45 @@ class TraceGenerator:
             )
             for r in self.realized
         ]
+
+    def _finalize(self, store) -> HoneyfarmDataset:
         return HoneyfarmDataset(
             config=self.config,
             store=store,
             deployment=self.deployment,
             registry=self.registry,
             intel=self.intel,
-            campaigns=campaigns,
+            campaigns=self._campaign_runtimes(),
             envelopes=self.envelopes,
         )
 
+    def run(self) -> HoneyfarmDataset:
+        self._build_day_buckets()
+        self._emit_campaigns()
+        self._emit_singleton_writers()
+        self._emit_background_cmd()
+        self._emit_background_uri()
+        self._emit_no_cred()
+        self._emit_fail_log()
+        self._emit_no_cmd()
+        return self._finalize(self.builder.build())
 
-def generate_dataset(config: Optional[ScenarioConfig] = None) -> HoneyfarmDataset:
-    """Generate one synthetic honeyfarm trace (the library's main entry)."""
-    return TraceGenerator(config or ScenarioConfig()).run()
+
+def generate_dataset(
+    config: Optional[ScenarioConfig] = None,
+    workers: Optional[int] = None,
+) -> HoneyfarmDataset:
+    """Generate one synthetic honeyfarm trace (the library's main entry).
+
+    ``workers=None`` runs the original single-pass generator. Any integer
+    ``workers >= 1`` selects the sharded pipeline: the scenario is cut into
+    (traffic unit, day-range) shards, each drawing from its own named rng
+    stream, so the result is identical for every worker count — including
+    ``workers=1`` — but is a distinct (equally valid) trace from the
+    single-pass path, whose draw order predates sharding.
+    """
+    if workers is None:
+        return TraceGenerator(config or ScenarioConfig()).run()
+    from repro.workload.shards import generate_sharded
+
+    return generate_sharded(config, workers=workers)

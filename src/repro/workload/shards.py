@@ -1,0 +1,231 @@
+"""Sharded, multiprocess trace generation.
+
+The scenario is partitioned into shards keyed by (traffic unit, day-range):
+each realised campaign, the singleton-writer pool, and every background
+category is cut into fixed-size day (or writer) chunks. Every per-day and
+per-writer draw comes from a named child :class:`~repro.simulation.rng.RngStream`
+(``no_cred.d17``, ``emit.<campaign>.d42``, ``singletons.w1031``), so a
+shard's output depends only on its key — never on which worker runs it or
+in what order. Workers emit into builders forked from the plan's base
+tables (:meth:`StoreBuilder.fork_tables`) and return frozen stores; the
+parent adopts them back in shard order (:meth:`StoreBuilder.adopt_store`),
+remapping any ids a shard interned beyond the shared prefix. The merged
+store is therefore bit-identical for every worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.store.store import SessionStore
+from repro.workload.config import ScenarioConfig
+from repro.workload.dataset import HoneyfarmDataset
+from repro.workload.emit import SessionEmitter
+from repro.workload.generator import TraceGenerator, _daily_budgets
+
+#: Days per background/campaign shard. Fixed — never derived from the
+#: worker count — so the shard list is a pure function of the config.
+DAY_CHUNK = 32
+
+#: Singleton writers per shard.
+WRITER_CHUNK = 64
+
+#: Background categories in their serial emission order; values are the
+#: rng-stream names (which double as shard keys).
+_BACKGROUND = ("bg_cmd", "bg_uri", "no_cred", "fail_log", "no_cmd")
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One independently emittable slice of the scenario.
+
+    ``kind`` is ``"campaign"``, ``"singletons"`` or a background category
+    key; ``key`` carries the campaign id for campaign shards. ``start`` /
+    ``stop`` bound a half-open range of schedule positions (campaigns),
+    writer slots (singletons) or absolute days (background).
+    """
+
+    kind: str
+    key: str
+    start: int
+    stop: int
+
+
+class ShardPlan:
+    """Everything shared by all shards: realised campaigns, budgets, rng roots.
+
+    Built once per config in the parent process; under a fork start method
+    workers inherit it copy-on-write, under spawn each worker rebuilds it
+    (identically — construction only uses named rng streams).
+    """
+
+    def __init__(self, gen: TraceGenerator):
+        self.gen = gen
+        gen._build_day_buckets()
+        gen._realize_campaigns()
+        self.campaigns_by_id = {r.spec.campaign_id: r for r in gen.realized}
+
+        self.writers = gen._singleton_writers()
+        singleton_total = gen._singleton_session_total(self.writers)
+        campaign_totals = {"CMD": 0, "CMD_URI": 0}
+        for r in gen.realized:
+            campaign_totals[r.category] += r.total_sessions
+
+        cfg = gen.config
+        bg_cmd_budget = max(
+            0, cfg.sessions_for("CMD") - campaign_totals["CMD"] - singleton_total
+        )
+        bg_uri_budget = max(
+            0, cfg.sessions_for("CMD_URI") - campaign_totals["CMD_URI"]
+        )
+        self.budgets: Dict[str, np.ndarray] = {
+            "bg_cmd": _daily_budgets(bg_cmd_budget, gen.envelopes["CMD"]),
+            "bg_uri": gen._bg_uri_budgets(bg_uri_budget),
+            "no_cred": _daily_budgets(
+                cfg.sessions_for("NO_CRED"), gen.envelopes["NO_CRED"]
+            ),
+            "fail_log": _daily_budgets(
+                cfg.sessions_for("FAIL_LOG"), gen.envelopes["FAIL_LOG"]
+            ),
+            "no_cmd": _daily_budgets(
+                cfg.sessions_for("NO_CMD"), gen.envelopes["NO_CMD"]
+            ),
+        }
+        fl = self.budgets["fail_log"]
+        self.fail_log_baseline = (
+            float(np.median(fl[fl > 0])) if (fl > 0).any() else 0.0
+        )
+        self.fail_log_spike = gen._fail_log_setup(gen.rng.child("fail_log"))
+        self.ru, self.ru_pots = gen._no_cmd_setup(gen.rng.child("no_cmd"))
+        self.shards = self._enumerate()
+
+    def _enumerate(self) -> List[Shard]:
+        shards: List[Shard] = []
+        for r in self.gen.realized:
+            days = sorted(r.schedule)
+            for lo in range(0, len(days), DAY_CHUNK):
+                shards.append(Shard(
+                    "campaign", r.spec.campaign_id,
+                    lo, min(lo + DAY_CHUNK, len(days)),
+                ))
+        for lo in range(0, len(self.writers), WRITER_CHUNK):
+            shards.append(Shard(
+                "singletons", "singletons",
+                lo, min(lo + WRITER_CHUNK, len(self.writers)),
+            ))
+        n_days = self.gen.config.n_days
+        for cat in _BACKGROUND:
+            budgets = self.budgets[cat]
+            for lo in range(0, n_days, DAY_CHUNK):
+                hi = min(lo + DAY_CHUNK, n_days)
+                if budgets[lo:hi].sum() > 0:
+                    shards.append(Shard(cat, cat, lo, hi))
+        return shards
+
+
+def emit_shard(plan: ShardPlan, shard: Shard) -> SessionStore:
+    """Emit one shard into a frozen store with tables forked from the plan."""
+    gen = plan.gen
+    fork = gen.builder.fork_tables()
+    emitter = SessionEmitter(fork, gen.rng.child("emitter"))
+    saved = (gen.builder, gen.emitter, gen.engine.emitter)
+    gen.builder = fork
+    gen.emitter = emitter
+    gen.engine.emitter = emitter
+    try:
+        if shard.kind == "campaign":
+            campaign = plan.campaigns_by_id[shard.key]
+            days = sorted(campaign.schedule)
+            for day in days[shard.start:shard.stop]:
+                gen.engine.emit_campaign_day(
+                    campaign, day, campaign.schedule[day]
+                )
+        elif shard.kind == "singletons":
+            for w in plan.writers[shard.start:shard.stop]:
+                gen._singleton_writer_emit(int(w))
+        else:
+            budgets = plan.budgets[shard.kind]
+            base = gen.rng.child(shard.kind)
+            pack = None
+            for day in range(shard.start, shard.stop):
+                n = int(budgets[day])
+                if n <= 0:
+                    continue
+                rng = base.child(f"d{day}")
+                if shard.kind == "no_cred":
+                    gen._no_cred_day(rng, day, n)
+                elif shard.kind == "fail_log":
+                    gen._fail_log_day(
+                        rng, day, n, plan.fail_log_baseline, plan.fail_log_spike
+                    )
+                elif shard.kind == "no_cmd":
+                    gen._no_cmd_day(rng, day, n, plan.ru, plan.ru_pots)
+                elif shard.kind == "bg_cmd":
+                    if pack is None:
+                        pack = gen._bg_cmd_profiles()
+                    gen._bg_cmd_day(rng, day, n, pack)
+                elif shard.kind == "bg_uri":
+                    if pack is None:
+                        pack = gen._bg_uri_profiles()
+                    gen._bg_uri_day(rng, day, n, pack)
+                else:
+                    raise ValueError(f"unknown shard kind: {shard.kind}")
+    finally:
+        gen.builder, gen.emitter, gen.engine.emitter = saved
+    return fork.build()
+
+
+# One plan per process, keyed by config. Set in the parent before the pool
+# is created so fork-started workers inherit it; spawn-started workers
+# rebuild it on their first shard.
+_PLAN: Optional[ShardPlan] = None
+
+
+def _plan_for(config: ScenarioConfig) -> ShardPlan:
+    global _PLAN
+    if _PLAN is None or _PLAN.gen.config != config:
+        _PLAN = ShardPlan(TraceGenerator(config))
+    return _PLAN
+
+
+def _emit_indexed(task: Tuple[ScenarioConfig, int]) -> SessionStore:
+    config, index = task
+    plan = _plan_for(config)
+    return emit_shard(plan, plan.shards[index])
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context("spawn")
+
+
+def generate_sharded(
+    config: Optional[ScenarioConfig] = None, workers: int = 1
+) -> HoneyfarmDataset:
+    """Generate the sharded trace with ``workers`` processes.
+
+    The output is bit-identical for every ``workers`` value: shards are
+    emitted from named rng streams and merged in enumeration order, so
+    scheduling cannot influence the result.
+    """
+    config = config or ScenarioConfig()
+    workers = max(1, int(workers))
+    plan = _plan_for(config)
+    shards = plan.shards
+    if workers == 1 or len(shards) <= 1:
+        stores = [emit_shard(plan, shard) for shard in shards]
+    else:
+        tasks = [(config, i) for i in range(len(shards))]
+        with _mp_context().Pool(min(workers, len(shards))) as pool:
+            stores = pool.map(_emit_indexed, tasks)
+    # Merge into a rows-free fork so the cached plan stays reusable.
+    builder = plan.gen.builder.fork_tables()
+    for store in stores:
+        builder.adopt_store(store)
+    return plan.gen._finalize(builder.build())

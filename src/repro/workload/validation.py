@@ -17,7 +17,8 @@ import numpy as np
 
 from repro.core import activity, clients, diversity
 from repro.core.classify import CATEGORIES, category_shares
-from repro.core.hashes import HashOccurrences, compute_hash_stats, pot_coverage_summary
+from repro.core.context import AnalysisContext
+from repro.core.hashes import pot_coverage_summary
 from repro.workload.config import CATEGORY_MIX, SSH_SHARE
 from repro.workload.dataset import HoneyfarmDataset
 
@@ -71,7 +72,8 @@ class CalibrationReport:
 
 def validate(dataset: HoneyfarmDataset) -> CalibrationReport:
     """Run every calibration check against a generated dataset."""
-    store = dataset.store
+    ctx = AnalysisContext.from_dataset(dataset)
+    store = ctx.store
     checks: List[CalibrationCheck] = []
 
     # Farm shape.
@@ -84,7 +86,7 @@ def validate(dataset: HoneyfarmDataset) -> CalibrationReport:
         CheckKind.APPROX))
 
     # Category / protocol mix (Table 1).
-    shares = category_shares(store)
+    shares = category_shares(ctx)
     for i, cat in enumerate(CATEGORIES):
         checks.append(CalibrationCheck(
             f"{cat.value} share", CATEGORY_MIX[cat.value],
@@ -103,7 +105,7 @@ def validate(dataset: HoneyfarmDataset) -> CalibrationReport:
         CheckKind.AT_LEAST))
 
     # Client behaviour (Figs 12/13, Section 7).
-    cs = clients.clients_overall_summary(store)
+    cs = clients.clients_overall_summary(ctx)
     checks.append(CalibrationCheck(
         "single-pot client share", 0.30, cs["share_single_pot"],
         CheckKind.AT_LEAST))
@@ -120,9 +122,7 @@ def validate(dataset: HoneyfarmDataset) -> CalibrationReport:
         CheckKind.AT_LEAST))
 
     # Hash/pot coverage (Fig 18, Section 8.4).
-    occ = HashOccurrences.build(store)
-    stats = compute_hash_stats(occ)
-    coverage = pot_coverage_summary(occ, stats)
+    coverage = pot_coverage_summary(ctx.hash_occurrences, ctx.hash_stats)
     checks.append(CalibrationCheck(
         "single-pot hash share", 0.60, coverage["share_single_pot"],
         CheckKind.AT_LEAST))
