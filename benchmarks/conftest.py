@@ -27,6 +27,38 @@ def bench_config() -> ScenarioConfig:
     )
 
 
+@pytest.fixture(autouse=True)
+def _bench_stage_metrics(request):
+    """Attach a per-test ``stages`` breakdown to benchmark JSON output.
+
+    Snapshots the current metrics registry around each test; whatever
+    counters and span timings moved land in the benchmark fixture's
+    ``extra_info`` (and hence in ``--benchmark-json`` artefacts) as a
+    ``stages`` field.
+    """
+    from repro.obs import get_metrics
+
+    benchmark = (request.getfixturevalue("benchmark")
+                 if "benchmark" in request.fixturenames else None)
+    snapshot = get_metrics().to_dict()
+    yield
+    if benchmark is None:
+        return
+    delta = get_metrics().delta_since(snapshot)
+    if delta["counters"] or delta["spans"]:
+        benchmark.extra_info["stages"] = delta
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Dump the whole run's registry when ``REPRO_METRICS`` names a path."""
+    target = os.environ.get("REPRO_METRICS")
+    if not target or target in ("-", "1", "stderr"):
+        return
+    from repro.obs import dump_json, get_metrics
+
+    dump_json(get_metrics(), target)
+
+
 def pytest_terminal_summary(terminalreporter):
     """Flush the paper-vs-measured narration after the benchmark table.
 

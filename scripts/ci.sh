@@ -11,5 +11,5 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== sharded generation smoke (validate, 2 workers) =="
-python -m repro validate --scale 40000 --workers 2
+echo "== sharded generation smoke (validate, 2 workers, with metrics) =="
+python -m repro validate --scale 40000 --workers 2 --metrics

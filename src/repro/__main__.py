@@ -47,6 +47,11 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="generate with N worker processes (sharded "
                              "mode; output is identical for every N). "
                              "Default: the single-pass serial generator")
+    parser.add_argument("--metrics", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="after the command, print the pipeline stage "
+                             "timings and counters to stderr; with PATH, "
+                             "also dump the registry as JSON there")
 
 
 def _config(args):
@@ -142,6 +147,30 @@ def cmd_validate(args) -> int:
     return 1
 
 
+def _emit_metrics(flag) -> None:
+    """Report the run's metrics registry when asked to.
+
+    ``--metrics`` (bare) prints the stage-timing tree and counters to
+    stderr; ``--metrics PATH`` additionally dumps the registry JSON to
+    ``PATH``.  Without the flag the ``REPRO_METRICS`` environment
+    variable is consulted: ``1``/``-``/``stderr`` mean stderr-only,
+    anything else is treated as a JSON path.  Collection is always on
+    (it is just dict increments); this only controls reporting.
+    """
+    import os
+
+    target = flag if flag is not None else os.environ.get("REPRO_METRICS")
+    if not target:
+        return
+    from repro.obs import dump_json, get_metrics, render
+
+    metrics = get_metrics()
+    print(render(metrics), file=sys.stderr)
+    if target not in ("-", "1", "stderr"):
+        dump_json(metrics, target)
+        print(f"metrics json written to {target}", file=sys.stderr)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -169,7 +198,9 @@ def main(argv=None) -> int:
     p_validate.set_defaults(func=cmd_validate)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    status = args.func(args)
+    _emit_metrics(getattr(args, "metrics", None))
+    return status
 
 
 if __name__ == "__main__":

@@ -23,11 +23,17 @@ from typing import Dict, Optional, Union
 
 import numpy as np
 
+from repro.obs import inc as _metric_inc
 from repro.store.store import SessionStore
 
 
 class AnalysisContext:
-    """A store plus memoized derived state shared across analyses."""
+    """A store plus memoized derived state shared across analyses.
+
+    Every memoized property counts its cache traffic into the current
+    metrics registry (``context.<property>.hit`` / ``.miss``), so a report
+    run shows exactly how much recomputation the shared context saved.
+    """
 
     def __init__(self, store: SessionStore, intel=None):
         self.store = store
@@ -47,9 +53,15 @@ class AnalysisContext:
 
     # -- memoized intermediates ---------------------------------------------
 
+    @staticmethod
+    def _cache_traffic(name: str, hit: bool) -> None:
+        _metric_inc(f"context.{name}.{'hit' if hit else 'miss'}")
+        _metric_inc(f"context.{'hits' if hit else 'misses'}")
+
     @property
     def category_codes(self) -> np.ndarray:
         """Per-session category codes (indices into ``classify.CATEGORIES``)."""
+        self._cache_traffic("category_codes", self._category_codes is not None)
         if self._category_codes is None:
             from repro.core import classify
 
@@ -59,6 +71,7 @@ class AnalysisContext:
     def category_mask(self, index: int) -> np.ndarray:
         """Boolean session mask for category code ``index``."""
         mask = self._category_masks.get(index)
+        self._cache_traffic("category_mask", mask is not None)
         if mask is None:
             mask = self.category_codes == index
             self._category_masks[index] = mask
@@ -67,6 +80,7 @@ class AnalysisContext:
     @property
     def hash_occurrences(self):
         """The (session, hash) occurrence index (``HashOccurrences``)."""
+        self._cache_traffic("hash_occurrences", self._hash_occurrences is not None)
         if self._hash_occurrences is None:
             from repro.core import hashes
 
@@ -76,6 +90,7 @@ class AnalysisContext:
     @property
     def hash_stats(self):
         """Per-hash aggregate stats derived from :attr:`hash_occurrences`."""
+        self._cache_traffic("hash_stats", self._hash_stats is not None)
         if self._hash_stats is None:
             from repro.core import hashes
 
@@ -85,6 +100,7 @@ class AnalysisContext:
     @property
     def daily_totals(self) -> np.ndarray:
         """Farm-wide session count per day."""
+        self._cache_traffic("daily_totals", self._daily_totals is not None)
         if self._daily_totals is None:
             from repro.core import timeseries
 
@@ -94,6 +110,7 @@ class AnalysisContext:
     @property
     def pots_per_client(self) -> np.ndarray:
         """Distinct honeypots contacted per client IP (no mask)."""
+        self._cache_traffic("pots_per_client", self._pots_per_client is not None)
         if self._pots_per_client is None:
             from repro.core import clients
 
@@ -103,6 +120,7 @@ class AnalysisContext:
     @property
     def days_per_client(self) -> np.ndarray:
         """Distinct active days per client IP (no mask)."""
+        self._cache_traffic("days_per_client", self._days_per_client is not None)
         if self._days_per_client is None:
             from repro.core import clients
 

@@ -34,6 +34,7 @@ from repro.core.hashes import (
     hashes_per_honeypot,
     pot_coverage_summary,
 )
+from repro.obs import get_metrics
 from repro.simulation.rng import RngStream
 from repro.workload.dataset import HoneyfarmDataset
 
@@ -72,59 +73,80 @@ def full_report(
     ctx = ctx or AnalysisContext.from_dataset(dataset)
     store = ctx.store
     pot_countries = [site.country for site in dataset.deployment.sites]
+    metrics = get_metrics()
 
-    occ = ctx.hash_occurrences
-    stats = ctx.hash_stats
-    labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns if c.primary_hash}
+    with metrics.span("report"):
+        with metrics.span("intermediates"):
+            occ = ctx.hash_occurrences
+            stats = ctx.hash_stats
+            labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns
+                      if c.primary_hash}
 
-    report: Dict = {}
-    report["table1"] = tables.table1_categories(ctx)
-    report["table2"] = tables.table2_passwords(ctx)
-    report["table3"] = tables.table3_commands(ctx)
-    hash_tables = tables.tables_4_5_6(ctx, dataset.intel, labels)
-    report["table4"] = hash_tables.by_sessions
-    report["table5"] = hash_tables.by_clients
-    report["table6"] = hash_tables.by_days
+        report: Dict = {}
 
-    report["fig1_pots_per_country"] = dataset.deployment.pots_per_country()
-    report["fig2_activity"] = activity.ActivitySummary.compute(store)
-    report["fig2_sorted_sessions"] = activity.sorted_activity(store)
-    report["fig3_bands_top"] = timeseries.bands_top_honeypots(store)
-    report["fig4_bands_all"] = timeseries.bands_all_honeypots(store)
-    report["fig5_category_shares"] = category_shares(ctx)
-    report["fig6_fractions"] = timeseries.category_fractions_over_time(ctx)
-    report["fig7_durations"] = durations.duration_ecdfs(ctx)
-    report["fig8_bands_by_category"] = timeseries.category_bands(ctx)
-    report["fig9_bands_by_category_top"] = timeseries.category_bands(ctx, 0.05)
-    report["fig10_clients_by_country"] = clients.clients_per_country(store)
-    report["fig11_daily_ips"] = clients.daily_unique_ips(ctx)
-    report["fig12_pots_per_client"] = clients.honeypots_per_client_ecdfs(ctx)
-    report["fig13_days_per_client"] = clients.days_per_client_ecdfs(ctx)
-    report["fig14_clients_per_pot"] = clients.clients_per_honeypot_report(ctx)
-    report["fig15_combos"] = clients.daily_category_combinations(ctx)
-    report["fig16_diversity"] = diversity.regional_diversity(store, pot_countries)
-    report["fig17_freshness"] = freshness.freshness_report(occ)
-    report["fig18_hashes_per_pot"] = hashes_per_honeypot(occ)
-    report["fig19_sessions_per_pot"] = activity.sessions_per_honeypot(store)
-    report["fig20_clients_per_hash"] = clients_per_hash_curve(stats)
-    report["fig21_hashes_per_client"] = hashes_per_client(occ)
-    report["fig22_campaign_lengths"] = campaign_length_ecdfs(stats, store, dataset.intel)
-    report["fig23_country_by_category"] = clients.clients_per_country_by_category(ctx)
-    report["fig24_diversity_by_category"] = diversity.diversity_by_category(
-        ctx, pot_countries
-    )
+        def timed(key: str, compute) -> None:
+            with metrics.span(key):
+                report[key] = compute()
 
-    report["clients_summary"] = clients.clients_overall_summary(ctx)
-    report["hash_coverage"] = pot_coverage_summary(occ, stats)
-    report["intel_coverage"] = dataset.intel.coverage(store.hashes.values())
+        timed("table1", lambda: tables.table1_categories(ctx))
+        timed("table2", lambda: tables.table2_passwords(ctx))
+        timed("table3", lambda: tables.table3_commands(ctx))
+        with metrics.span("tables_4_5_6"):
+            hash_tables = tables.tables_4_5_6(ctx, dataset.intel, labels)
+        report["table4"] = hash_tables.by_sessions
+        report["table5"] = hash_tables.by_clients
+        report["table6"] = hash_tables.by_days
 
-    # Beyond-the-figures extensions (Section 9 discussion + related work).
-    report["ext_as_counts"] = asns.as_counts_by_category(ctx)
-    report["ext_versions"] = versions.version_counts(store)[:10]
-    report["ext_federation"] = federation_report(
-        occ, k=4, rng=RngStream(dataset.config.seed, "report.federation")
-    )
-    report["ext_blocklist_100"] = blocklist_impact(ctx, occ, 100)
+        timed("fig1_pots_per_country",
+              lambda: dataset.deployment.pots_per_country())
+        timed("fig2_activity", lambda: activity.ActivitySummary.compute(store))
+        timed("fig2_sorted_sessions", lambda: activity.sorted_activity(store))
+        timed("fig3_bands_top", lambda: timeseries.bands_top_honeypots(store))
+        timed("fig4_bands_all", lambda: timeseries.bands_all_honeypots(store))
+        timed("fig5_category_shares", lambda: category_shares(ctx))
+        timed("fig6_fractions",
+              lambda: timeseries.category_fractions_over_time(ctx))
+        timed("fig7_durations", lambda: durations.duration_ecdfs(ctx))
+        timed("fig8_bands_by_category", lambda: timeseries.category_bands(ctx))
+        timed("fig9_bands_by_category_top",
+              lambda: timeseries.category_bands(ctx, 0.05))
+        timed("fig10_clients_by_country",
+              lambda: clients.clients_per_country(store))
+        timed("fig11_daily_ips", lambda: clients.daily_unique_ips(ctx))
+        timed("fig12_pots_per_client",
+              lambda: clients.honeypots_per_client_ecdfs(ctx))
+        timed("fig13_days_per_client",
+              lambda: clients.days_per_client_ecdfs(ctx))
+        timed("fig14_clients_per_pot",
+              lambda: clients.clients_per_honeypot_report(ctx))
+        timed("fig15_combos", lambda: clients.daily_category_combinations(ctx))
+        timed("fig16_diversity",
+              lambda: diversity.regional_diversity(store, pot_countries))
+        timed("fig17_freshness", lambda: freshness.freshness_report(occ))
+        timed("fig18_hashes_per_pot", lambda: hashes_per_honeypot(occ))
+        timed("fig19_sessions_per_pot",
+              lambda: activity.sessions_per_honeypot(store))
+        timed("fig20_clients_per_hash", lambda: clients_per_hash_curve(stats))
+        timed("fig21_hashes_per_client", lambda: hashes_per_client(occ))
+        timed("fig22_campaign_lengths",
+              lambda: campaign_length_ecdfs(stats, store, dataset.intel))
+        timed("fig23_country_by_category",
+              lambda: clients.clients_per_country_by_category(ctx))
+        timed("fig24_diversity_by_category",
+              lambda: diversity.diversity_by_category(ctx, pot_countries))
+
+        timed("clients_summary", lambda: clients.clients_overall_summary(ctx))
+        timed("hash_coverage", lambda: pot_coverage_summary(occ, stats))
+        timed("intel_coverage",
+              lambda: dataset.intel.coverage(store.hashes.values()))
+
+        # Beyond-the-figures extensions (Section 9 discussion + related work).
+        timed("ext_as_counts", lambda: asns.as_counts_by_category(ctx))
+        timed("ext_versions", lambda: versions.version_counts(store)[:10])
+        timed("ext_federation", lambda: federation_report(
+            occ, k=4, rng=RngStream(dataset.config.seed, "report.federation")
+        ))
+        timed("ext_blocklist_100", lambda: blocklist_impact(ctx, occ, 100))
     return report
 
 

@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.honeypot.events import HoneypotEvent
 from repro.honeypot.protocol import Protocol
+from repro.obs import inc as _metric_inc
 from repro.honeypot.session import HoneypotSession, SessionConfig, SessionSummary
 from repro.honeypot.shell.resolver import UriResolver
 from repro.net.tcp import SSH_PORT, TELNET_PORT
@@ -80,6 +81,7 @@ class Honeypot:
         limit = self.config.max_concurrent_sessions
         if limit and len(self._live) >= limit:
             self.sessions_refused += 1
+            _metric_inc("honeypot.sessions_refused")
             raise ConnectionRefusedError(
                 f"{self.honeypot_id}: session limit {limit} reached"
             )
@@ -97,6 +99,7 @@ class Honeypot:
         )
         self._live[session.session_id] = session
         self.sessions_accepted += 1
+        _metric_inc("honeypot.sessions_accepted")
         return session
 
     def reap(self, now: float) -> List[SessionSummary]:

@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Tuple
 
 from repro.honeypot.auth import AuthPolicy, AuthResult
 from repro.honeypot.events import EventType, HoneypotEvent
+from repro.obs import inc as _metric_inc
 from repro.honeypot.filesystem import FakeFilesystem
 from repro.honeypot.protocol import Protocol
 from repro.honeypot.shell.base import CommandRegistry
@@ -172,6 +173,7 @@ class HoneypotSession:
         """One password attempt. May close the session on repeated failure."""
         self._require_state(SessionState.CONNECTED)
         self._check_not_past_deadline(now)
+        _metric_inc("honeypot.auth_attempts")
         result = self.config.auth_policy.check_password(username, password)
         self.credentials.append((username, password))
         if result.success:
@@ -201,6 +203,7 @@ class HoneypotSession:
         """
         self._require_state(SessionState.CONNECTED)
         self._check_not_past_deadline(now)
+        _metric_inc("honeypot.auth_attempts")
         result = self.config.auth_policy.check_publickey(username, key_fingerprint)
         self.credentials.append((username, f"ssh-key:{key_fingerprint}"))
         self._emit(EventType.LOGIN_FAILED, now, {
@@ -244,6 +247,7 @@ class HoneypotSession:
             })
         for change in result.file_changes:
             self.file_hashes.append(change.sha256)
+            _metric_inc("honeypot.hashes_recorded")
             event = EventType.FILE_CREATED if change.created else EventType.FILE_MODIFIED
             self._emit(event, now, {
                 "path": change.path, "shasum": change.sha256, "size": change.size,
@@ -276,6 +280,7 @@ class HoneypotSession:
                 if self.state is SessionState.CONNECTED
                 else CloseReason.IDLE_TIMEOUT
             )
+            _metric_inc(f"honeypot.timeouts.{reason.value}")
             self._close(self.deadline, reason)
             return True
         return False
@@ -289,10 +294,21 @@ class HoneypotSession:
         self.state = SessionState.CLOSED
         self.close_reason = reason
         self.end_time = now
+        _metric_inc(f"honeypot.sessions.{self._category()}")
         self._emit(EventType.SESSION_CLOSED, now, {
             "reason": reason.value,
             "duration": now - self.start_time,
         })
+
+    def _category(self) -> str:
+        """The paper's session taxonomy, derived from this session's record."""
+        if not self.credentials:
+            return "NO_CRED"
+        if not self.login_success:
+            return "FAIL_LOG"
+        if not self.commands:
+            return "NO_CMD"
+        return "CMD_URI" if self.uris else "CMD"
 
     # -- results ---------------------------------------------------------------
 

@@ -1,0 +1,39 @@
+"""Pipeline observability: metrics registry, stage spans, exporters.
+
+Zero-dependency instrumentation threaded through the hot paths of the
+pipeline — trace generation (serial and sharded), the discrete-event
+engine, honeypot sessions, the analysis context cache and the report
+orchestrator.  Collection is always on (the instruments are dict
+increments and a pair of clock reads per stage, well under the 3%%
+overhead budget); ``python -m repro <cmd> --metrics [PATH]`` or the
+``REPRO_METRICS`` environment variable surface the recorded registry as a
+stderr summary tree plus an optional JSON dump.
+
+Workers in the sharded generator record into their own registry and ship
+its dict form back with each shard; the parent merges them in shard
+order, so counters from a ``--workers N`` run sum to the serial totals.
+"""
+
+from repro.obs.export import dump_json, load_json, render
+from repro.obs.metrics import (
+    Histogram,
+    Metrics,
+    get_metrics,
+    inc,
+    reset_metrics,
+    set_metrics,
+    use_metrics,
+)
+
+__all__ = [
+    "Histogram",
+    "Metrics",
+    "dump_json",
+    "get_metrics",
+    "inc",
+    "load_json",
+    "render",
+    "reset_metrics",
+    "set_metrics",
+    "use_metrics",
+]

@@ -1,0 +1,115 @@
+"""Exporters: the stderr summary tree and the JSON dump.
+
+``render`` turns a registry into the line-text report printed by
+``python -m repro <cmd> --metrics``; ``dump_json`` writes the registry's
+dict form to a file for machine consumption (benchmarks, CI artefacts).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import Metrics
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:7.2f}s "
+    return f"{seconds * 1000:7.1f}ms"
+
+
+def _span_tree(spans: Dict[str, Dict[str, float]]):
+    """(nodes, children) with implicit parents synthesised.
+
+    A merged registry can contain a path like ``generate/emit/shard/bg_cmd``
+    without its ``shard`` ancestor ever having been entered (worker spans
+    re-rooted under the parent's tree); such implicit nodes aggregate their
+    children's totals so the rendered tree still reads top-down.
+    """
+    nodes: Dict[str, Dict[str, float]] = {
+        path: dict(cell) for path, cell in spans.items()
+    }
+    children: Dict[str, List[str]] = {}
+    for path in sorted(nodes):
+        walk = path
+        while "/" in walk:
+            parent = walk.rsplit("/", 1)[0]
+            siblings = children.setdefault(parent, [])
+            if walk not in siblings:
+                siblings.append(walk)
+            if parent not in nodes:
+                nodes[parent] = {"count": 0, "wall": 0.0, "cpu": 0.0}
+            walk = parent
+        children.setdefault(path, [])
+    # Implicit nodes (count 0) show the sum of their children, deepest first.
+    for path in sorted(nodes, key=lambda p: -p.count("/")):
+        cell = nodes[path]
+        if cell["count"] == 0 and children.get(path):
+            for child in children[path]:
+                cell["wall"] += nodes[child]["wall"]
+                cell["cpu"] += nodes[child]["cpu"]
+    roots = [path for path in nodes if "/" not in path]
+    return nodes, children, roots
+
+
+def render_spans(metrics: Metrics) -> List[str]:
+    nodes, children, roots = _span_tree(metrics.spans)
+    lines: List[str] = []
+
+    def emit(path: str, depth: int) -> None:
+        cell = nodes[path]
+        name = path.rsplit("/", 1)[-1]
+        label = "  " * depth + name
+        count = int(cell["count"])
+        lines.append(
+            f"{label:<38} wall {_format_seconds(cell['wall'])} "
+            f"cpu {_format_seconds(cell['cpu'])}  n={count if count else '-'}"
+        )
+        for child in sorted(children.get(path, []),
+                            key=lambda p: -nodes[p]["wall"]):
+            emit(child, depth + 1)
+
+    for root in sorted(roots, key=lambda p: -nodes[p]["wall"]):
+        emit(root, 0)
+    return lines
+
+
+def render(metrics: Metrics, title: str = "metrics") -> str:
+    """The full line-text report: span tree, counters, gauges, histograms."""
+    lines = [f"== {title}: stage timings =="]
+    span_lines = render_spans(metrics)
+    lines.extend(span_lines if span_lines else ["(no spans recorded)"])
+    if metrics.counters:
+        lines.append(f"== {title}: counters ==")
+        for name in sorted(metrics.counters):
+            value = metrics.counters[name]
+            shown = int(value) if float(value).is_integer() else value
+            lines.append(f"{name:<42} {shown:>14,}")
+    if metrics.gauges:
+        lines.append(f"== {title}: gauges ==")
+        for name in sorted(metrics.gauges):
+            lines.append(f"{name:<42} {metrics.gauges[name]:>14,.6g}")
+    if metrics.histograms:
+        lines.append(f"== {title}: histograms ==")
+        for name in sorted(metrics.histograms):
+            h = metrics.histograms[name]
+            lines.append(
+                f"{name:<30} n={h.count:<7} mean={h.mean:.4g} "
+                f"p50={h.percentile(50):.4g} p90={h.percentile(90):.4g} "
+                f"max={h.max:.4g}"
+            )
+    return "\n".join(lines)
+
+
+def dump_json(metrics: Metrics, path: str) -> None:
+    """Write the registry's dict form as indented JSON."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_json(path: str) -> Metrics:
+    """Read a registry previously written by :func:`dump_json`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return Metrics.from_dict(json.load(fh))

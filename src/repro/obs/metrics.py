@@ -1,0 +1,280 @@
+"""The metrics registry: counters, gauges, histograms, and spans.
+
+A :class:`Metrics` object is a plain in-process registry with four kinds of
+instruments:
+
+* **counters** — monotonically accumulated floats (``inc``);
+* **gauges** — last-set or running-max values (``gauge_set`` / ``gauge_max``);
+* **histograms** — raw observed samples with percentile queries
+  (``observe`` and the :meth:`Metrics.timer` context manager);
+* **spans** — hierarchical wall-clock / CPU stage timings (``span``).
+
+Everything is zero-dependency pure Python, serialises to plain dicts
+(:meth:`Metrics.to_dict` / :meth:`Metrics.from_dict`) and merges
+associatively (:meth:`Metrics.merge`), which is what makes the registry
+multiprocess-safe: each worker records into its own registry, ships the
+dict back with its shard, and the parent folds the dicts in shard order.
+
+A module-level *current* registry (:func:`get_metrics`) is what the
+instrumented code paths write to; :func:`use_metrics` swaps a fresh (or
+given) registry in for a scope, which is how workers and tests isolate
+their measurements.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Union
+
+
+class Histogram:
+    """Raw-sample histogram with percentile queries.
+
+    Samples are kept verbatim (instrumented sites observe per-block or
+    per-shard quantities, so cardinality stays small) which keeps merges
+    exact: concatenating two histograms is the same as observing both
+    sample sets into one.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self, values: Optional[List[float]] = None):
+        self.values: List[float] = list(values) if values else []
+
+    def observe(self, value: float) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        return float(sum(self.values))
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.values) if self.values else 0.0
+
+    @property
+    def max(self) -> float:
+        return float(max(self.values)) if self.values else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Linear-interpolated percentile ``p`` in [0, 100]."""
+        if not self.values:
+            return 0.0
+        xs = sorted(self.values)
+        rank = (len(xs) - 1) * (p / 100.0)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return xs[int(rank)]
+        return xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
+
+    def merge(self, other: "Histogram") -> None:
+        self.values.extend(other.values)
+
+
+def _new_span_cell() -> Dict[str, float]:
+    return {"count": 0, "wall": 0.0, "cpu": 0.0}
+
+
+class Metrics:
+    """One registry of counters, gauges, histograms and span timings."""
+
+    __slots__ = ("counters", "gauges", "histograms", "spans", "_stack")
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+        #: span path ("generate/campaigns") -> {count, wall, cpu}
+        self.spans: Dict[str, Dict[str, float]] = {}
+        self._stack: List[str] = []
+
+    # -- counters / gauges / histograms -------------------------------------
+
+    def inc(self, name: str, n: float = 1) -> None:
+        # try/except beats .get(): existing keys (the steady state on hot
+        # paths) pay a single hash lookup and no bound-method call.
+        try:
+            self.counters[name] += n
+        except KeyError:
+            self.counters[name] = n
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        g = self.gauges
+        if value > g.get(name, float("-inf")):
+            g[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.observe(value)
+
+    @contextmanager
+    def timer(self, name: str) -> Iterator[None]:
+        """Time a block into histogram ``name`` (seconds)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - t0)
+
+    # -- spans ----------------------------------------------------------------
+
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Record a hierarchical stage timing.
+
+        Nested spans build slash-joined paths: ``span("generate")``
+        containing ``span("merge")`` records under ``generate`` and
+        ``generate/merge``.  Wall time is ``time.perf_counter`` and CPU
+        time ``time.process_time``, both accumulated per path.
+        """
+        path = f"{self._stack[-1]}/{name}" if self._stack else name
+        self._stack.append(path)
+        wall0 = time.perf_counter()
+        cpu0 = time.process_time()
+        try:
+            yield
+        finally:
+            self._stack.pop()
+            cell = self.spans.get(path)
+            if cell is None:
+                cell = self.spans[path] = _new_span_cell()
+            cell["count"] += 1
+            cell["wall"] += time.perf_counter() - wall0
+            cell["cpu"] += time.process_time() - cpu0
+
+    # -- serialisation / merge -------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """Plain-dict (JSON-serialisable, picklable) form of the registry."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: list(h.values) for k, h in self.histograms.items()},
+            "spans": {k: dict(v) for k, v in self.spans.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "Metrics":
+        out = cls()
+        out.merge(data)
+        return out
+
+    def merge(
+        self,
+        other: Union["Metrics", Dict],
+        span_prefix: Optional[str] = None,
+    ) -> None:
+        """Fold another registry (or its dict form) into this one.
+
+        Counters and span cells sum, histograms concatenate, gauges keep
+        the maximum (every shipped gauge is a high-water mark).  With
+        ``span_prefix`` the other registry's span paths are re-rooted
+        under ``<span_prefix>/...`` — used to nest worker-side stage
+        timings under the parent's pipeline tree.
+        """
+        data = other.to_dict() if isinstance(other, Metrics) else other
+        for name, value in data.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in data.get("gauges", {}).items():
+            self.gauge_max(name, value)
+        for name, values in data.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = Histogram()
+            hist.values.extend(values)
+        for path, cell in data.get("spans", {}).items():
+            if span_prefix:
+                path = f"{span_prefix}/{path}"
+            mine = self.spans.get(path)
+            if mine is None:
+                mine = self.spans[path] = _new_span_cell()
+            mine["count"] += cell.get("count", 0)
+            mine["wall"] += cell.get("wall", 0.0)
+            mine["cpu"] += cell.get("cpu", 0.0)
+
+    def delta_since(self, snapshot: Dict) -> Dict:
+        """Counters/spans accumulated since ``snapshot`` (a to_dict form).
+
+        Used by the benchmark harness to attach a per-test ``stages``
+        breakdown: only instruments that moved are reported.
+        """
+        base_counters = snapshot.get("counters", {})
+        counters = {
+            name: value - base_counters.get(name, 0)
+            for name, value in self.counters.items()
+            if value != base_counters.get(name, 0)
+        }
+        base_spans = snapshot.get("spans", {})
+        spans = {}
+        for path, cell in self.spans.items():
+            base = base_spans.get(path, _new_span_cell())
+            if cell["count"] != base.get("count", 0):
+                spans[path] = {
+                    "count": cell["count"] - base.get("count", 0),
+                    "wall": cell["wall"] - base.get("wall", 0.0),
+                    "cpu": cell["cpu"] - base.get("cpu", 0.0),
+                }
+        return {"counters": counters, "spans": spans}
+
+
+# -- the current registry ------------------------------------------------------
+
+_CURRENT = Metrics()
+
+
+def get_metrics() -> Metrics:
+    """The registry instrumented code paths are currently writing to."""
+    return _CURRENT
+
+
+def set_metrics(metrics: Metrics) -> Metrics:
+    """Replace the current registry (returns it, for chaining)."""
+    global _CURRENT
+    _CURRENT = metrics
+    return metrics
+
+
+def reset_metrics() -> Metrics:
+    """Install and return a fresh empty registry."""
+    return set_metrics(Metrics())
+
+
+@contextmanager
+def use_metrics(metrics: Optional[Metrics] = None) -> Iterator[Metrics]:
+    """Swap ``metrics`` (default: a fresh registry) in for the scope.
+
+    This is how shard workers and tests isolate their measurements: code
+    inside the block writes to the swapped-in registry, which the caller
+    keeps after the previous registry is restored.
+    """
+    global _CURRENT
+    previous = _CURRENT
+    _CURRENT = metrics if metrics is not None else Metrics()
+    try:
+        yield _CURRENT
+    finally:
+        _CURRENT = previous
+
+
+def inc(name: str, n: float = 1) -> None:
+    """Increment a counter on the current registry (hot-path shorthand)."""
+    c = _CURRENT.counters
+    try:
+        c[name] += n
+    except KeyError:
+        c[name] = n

@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
+from repro.obs import get_metrics, inc as _metric_inc
 from repro.simulation.clock import SimClock, Timestamp
 
 
@@ -27,7 +28,9 @@ class Event:
     cancelled: bool = field(default=False, compare=False)
 
     def cancel(self) -> None:
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            _metric_inc("engine.events_cancelled")
 
 
 class EventQueue:
@@ -40,6 +43,9 @@ class EventQueue:
     def push(self, when: float, action: Callable[[], Any], label: str = "") -> Event:
         event = Event(when=float(when), seq=next(self._counter), action=action, label=label)
         heapq.heappush(self._heap, event)
+        metrics = get_metrics()
+        metrics.inc("engine.events_scheduled")
+        metrics.gauge_max("engine.heap_depth_max", len(self._heap))
         return event
 
     def pop(self) -> Optional[Event]:
@@ -95,6 +101,7 @@ class SimulationEngine:
         self.clock.advance_to(event.when)
         event.action()
         self.events_processed += 1
+        _metric_inc("engine.events_dispatched")
         return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:

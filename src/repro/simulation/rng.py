@@ -14,6 +14,9 @@ from typing import Iterator, Optional, Sequence, TypeVar
 
 import numpy as np
 
+from repro.obs import inc as _metric_inc
+from repro.obs import metrics as _obs_metrics
+
 T = TypeVar("T")
 
 
@@ -28,7 +31,21 @@ class RngStream:
     def __init__(self, master_seed: int, name: str = "root"):
         self.master_seed = int(master_seed)
         self.name = name
-        self._rng = np.random.Generator(np.random.PCG64(_derive_seed(master_seed, name)))
+        self._gen = np.random.Generator(np.random.PCG64(_derive_seed(master_seed, name)))
+        _metric_inc("rng.streams_created")
+
+    @property
+    def _rng(self) -> np.random.Generator:
+        """The underlying generator; every draw method reads it exactly once
+        per call, so this property doubles as the per-draw counter.  The
+        increment is inlined (no function call) — this sits under every
+        draw in the generation hot path."""
+        c = _obs_metrics._CURRENT.counters
+        try:
+            c["rng.draws"] += 1
+        except KeyError:
+            c["rng.draws"] = 1
+        return self._gen
 
     def child(self, suffix: str) -> "RngStream":
         """Derive an independent child stream named ``<name>.<suffix>``."""

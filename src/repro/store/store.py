@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+import time
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.honeypot.session import CloseReason
+from repro.obs import get_metrics, inc as _metric_inc
 from repro.store.interning import StringTable
 from repro.store.records import CommandScript, SessionRecord
 
@@ -136,6 +138,7 @@ class StoreBuilder:
         self._close_reason.append(close_reason_id)
         self._version_id.append(version_id)
         self._hash_ids.append(hash_ids)
+        _metric_inc("store.sessions_appended")
         return len(self._start) - 1
 
     def append_block(
@@ -183,6 +186,8 @@ class StoreBuilder:
         self._close_reason.extend(int(x) for x in close_reason_id)
         self._version_id.extend(int(x) for x in version_id)
         self._hash_ids.extend(hash_ids)
+        _metric_inc("store.sessions_appended", n)
+        _metric_inc("store.blocks_appended")
 
     # -- shard / merge support -------------------------------------------------
 
@@ -229,6 +234,7 @@ class StoreBuilder:
         fork/adopt shard path, where the remap is mostly the identity) or
         be entirely unrelated (merging independently collected stores).
         """
+        t0 = time.perf_counter()
         remap = self._table_remaps(other)
         hp, co = remap["honeypot"], remap["country"]
         pw, un, ve, sc = (remap["password"], remap["username"],
@@ -251,6 +257,10 @@ class StoreBuilder:
         self._hash_ids.extend(
             tuple(ha[h] for h in ids) for ids in other._hash_ids
         )
+        metrics = get_metrics()
+        metrics.inc("store.adopts")
+        metrics.inc("store.sessions_adopted", len(other._start))
+        metrics.observe("store.adopt_seconds", time.perf_counter() - t0)
 
     def adopt_store(self, store: "SessionStore") -> None:
         """Append a frozen store's rows, remapping its interned ids."""
@@ -414,9 +424,10 @@ class SessionStore:
         in first-seen order.
         """
         builder = StoreBuilder()
-        for store in stores:
-            builder.adopt_store(store)
-        return builder.build()
+        with get_metrics().span("store/merge"):
+            for store in stores:
+                builder.adopt_store(store)
+            return builder.build()
 
     # -- row access ------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from repro.agents.population import ClientPopulation, ClientRole
 from repro.agents.scripts import ScriptKind, build_script
 from repro.geo.continents import continent_of
 from repro.intel.database import IntelDatabase
+from repro.obs import inc as _metric_inc
 from repro.simulation.rng import RngStream
 from repro.workload.config import ScenarioConfig
 from repro.workload.emit import SessionEmitter
@@ -151,6 +152,7 @@ class CampaignEngine:
             if spec.password
             else -1
         )
+        _metric_inc("generator.campaigns_realized")
         return RealizedCampaign(
             spec=spec,
             profile=profile,
@@ -347,6 +349,9 @@ class CampaignEngine:
             close_reason=close,
             version_id=versions,
         )
+        _metric_inc(f"generator.sessions.{campaign.category}", m)
+        _metric_inc("generator.campaign_days")
+        _metric_inc("generator.campaign_sessions", m)
         return m
 
     def _choose_pots(

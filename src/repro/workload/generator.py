@@ -33,6 +33,7 @@ from repro.agents.scripts import ScriptKind, build_script
 from repro.farm.deployment import DeploymentPlan, build_default_deployment
 from repro.geo.registry import GeoRegistry, NetworkType
 from repro.intel.database import IntelDatabase
+from repro.obs import get_metrics, inc as _metric_inc
 from repro.simulation.rng import RngStream
 from repro.store.store import StoreBuilder
 from repro.workload.campaign_engine import CampaignEngine, RealizedCampaign, URI_KINDS
@@ -280,6 +281,8 @@ class TraceGenerator:
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
+        _metric_inc("generator.sessions.NO_CRED", m)
+        _metric_inc("generator.days.NO_CRED")
 
     def _fail_log_setup(
         self, rng: RngStream
@@ -360,6 +363,8 @@ class TraceGenerator:
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
+        _metric_inc("generator.sessions.FAIL_LOG", m)
+        _metric_inc("generator.days.FAIL_LOG")
 
     def _emit_fail_log_spike(
         self,
@@ -398,6 +403,8 @@ class TraceGenerator:
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
+        _metric_inc("generator.sessions.FAIL_LOG", m)
+        _metric_inc("generator.spike_sessions.FAIL_LOG", m)
 
     def _no_cmd_setup(self, rng: RngStream) -> Tuple[_RuPrefixClients, np.ndarray]:
         ru_count = max(8, int(48 * self.config.ip_scale * 10))
@@ -456,6 +463,7 @@ class TraceGenerator:
                 close_reason=close,
                 version_id=self.emitter.client_versions(rng, m, protocol),
             )
+            _metric_inc("generator.sessions.NO_CMD", m)
 
         if n_regular > 0:
             clients = self._active_clients("NO_CMD", day, rng)
@@ -482,6 +490,8 @@ class TraceGenerator:
                 close_reason=close,
                 version_id=self.emitter.client_versions(rng, m, protocol),
             )
+            _metric_inc("generator.sessions.NO_CMD", m)
+        _metric_inc("generator.days.NO_CMD")
 
     def _realize_campaigns(self) -> None:
         """Realise and rescale all campaigns without emitting any sessions."""
@@ -570,6 +580,7 @@ class TraceGenerator:
                 )
                 emitted += 1
         self._campaign_sessions["CMD"] += emitted  # counts against CMD budget
+        _metric_inc("generator.sessions.singletons", emitted)
 
     # -- singleton writers, sharded path --------------------------------------
     #
@@ -645,6 +656,7 @@ class TraceGenerator:
                 close_reason_id=int(close[0]),
                 version_id=-1,
             )
+        _metric_inc("generator.sessions.singletons", n_sessions)
 
     def _bg_cmd_profiles(self) -> Tuple[int, np.ndarray, np.ndarray]:
         """Intern the fixed recon/fileless script set into ``self.builder``."""
@@ -710,6 +722,8 @@ class TraceGenerator:
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
+        _metric_inc("generator.sessions.CMD", m)
+        _metric_inc("generator.days.CMD")
 
     def _bg_uri_profiles(self) -> Tuple[int, np.ndarray, List[Tuple[int, ...]], np.ndarray]:
         """Intern the uncatalogued dropper script set into ``self.builder``."""
@@ -796,6 +810,8 @@ class TraceGenerator:
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
+        _metric_inc("generator.sessions.CMD_URI", m)
+        _metric_inc("generator.days.CMD_URI")
 
     def _local_biased_pots(self, rng: RngStream, idx: np.ndarray) -> List[int]:
         """Target choice with the CMD+URI locality bias (Fig 16b).
@@ -854,15 +870,23 @@ class TraceGenerator:
         )
 
     def run(self) -> HoneyfarmDataset:
-        self._build_day_buckets()
-        self._emit_campaigns()
-        self._emit_singleton_writers()
-        self._emit_background_cmd()
-        self._emit_background_uri()
-        self._emit_no_cred()
-        self._emit_fail_log()
-        self._emit_no_cmd()
-        return self._finalize(self.builder.build())
+        metrics = get_metrics()
+        with metrics.span("generate"):
+            with metrics.span("day_buckets"):
+                self._build_day_buckets()
+            with metrics.span("campaigns"):
+                self._emit_campaigns()
+            with metrics.span("singletons"):
+                self._emit_singleton_writers()
+            with metrics.span("background"):
+                self._emit_background_cmd()
+                self._emit_background_uri()
+                self._emit_no_cred()
+                self._emit_fail_log()
+                self._emit_no_cmd()
+            with metrics.span("freeze"):
+                store = self.builder.build()
+        return self._finalize(store)
 
 
 def generate_dataset(

@@ -17,6 +17,7 @@ from repro.honeypot.honeypot import Honeypot, HoneypotConfig
 from repro.honeypot.protocol import Protocol
 from repro.honeypot.session import SessionConfig
 from repro.honeypot.shell.resolver import StaticPayloadResolver
+from repro.simulation.engine import Event, SimulationEngine
 
 #: Seconds of "typing time" charged per input line when profiling.
 THINK_TIME_PER_LINE = 2.5
@@ -70,20 +71,49 @@ class ScriptRunner:
         if template.dropper_uri and template.payload is not None:
             self._register_payload_uris(template)
 
+        # Drive the reference session through the event engine rather than
+        # with sequential calls. The profiler is the one honeypot
+        # interaction every bulk run performs, so this keeps the event loop
+        # on the pure-generation path too; timestamps are identical to the
+        # old sequential schedule, so profiles are unchanged.
+        engine = SimulationEngine()
         session = self._honeypot.accept(
             client_ip=0x7F000002, client_port=40000, dst_port=22, now=0.0
         )
-        session.try_login("root", "profiling-pass", now=1.0)
-        now = 2.0
-        for line in template.lines:
-            if session.is_closed:
-                break
-            session.input_line(line, now=now)
-            now += THINK_TIME_PER_LINE
-        if not session.is_closed:
-            session.client_disconnect(now)
+        end = 2.0 + len(template.lines) * THINK_TIME_PER_LINE
+        line_events: List[Event] = []
+
+        def feed(index: int, line: str, when: float):
+            def action() -> None:
+                if session.is_closed:
+                    # Script self-terminated (e.g. an `exit` line): the
+                    # rest of the typed input never arrives.
+                    for pending in line_events[index + 1:]:
+                        pending.cancel()
+                    disconnect_event.cancel()
+                    return
+                session.input_line(line, now=when)
+            return action
+
+        def disconnect() -> None:
+            if not session.is_closed:
+                session.client_disconnect(end)
+
+        engine.schedule_at(
+            1.0,
+            lambda: session.try_login("root", "profiling-pass", now=1.0),
+            label="login",
+        )
+        when = 2.0
+        for index, line in enumerate(template.lines):
+            line_events.append(
+                engine.schedule_at(when, feed(index, line, when), label="input")
+            )
+            when += THINK_TIME_PER_LINE
+        disconnect_event = engine.schedule_at(end, disconnect, label="disconnect")
+        engine.run()
         summary = session.summary()
-        self._honeypot.reap(now + 1.0)
+        self._honeypot.reap(end + 1.0)
 
         unique_hashes: List[str] = []
         for h in summary.file_hashes:

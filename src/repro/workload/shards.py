@@ -16,11 +16,13 @@ store is therefore bit-identical for every worker count.
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import get_metrics, use_metrics
 from repro.store.store import SessionStore
 from repro.workload.config import ScenarioConfig
 from repro.workload.dataset import HoneyfarmDataset
@@ -129,6 +131,16 @@ class ShardPlan:
 
 def emit_shard(plan: ShardPlan, shard: Shard) -> SessionStore:
     """Emit one shard into a frozen store with tables forked from the plan."""
+    metrics = get_metrics()
+    with metrics.span(f"shard/{shard.kind}"):
+        store = _emit_shard_body(plan, shard)
+    metrics.inc("shards.emitted")
+    metrics.inc(f"shards.sessions.{shard.kind}", len(store))
+    metrics.observe("shards.sessions_per_shard", len(store))
+    return store
+
+
+def _emit_shard_body(plan: ShardPlan, shard: Shard) -> SessionStore:
     gen = plan.gen
     fork = gen.builder.fork_tables()
     emitter = SessionEmitter(fork, gen.rng.child("emitter"))
@@ -192,10 +204,19 @@ def _plan_for(config: ScenarioConfig) -> ShardPlan:
     return _PLAN
 
 
-def _emit_indexed(task: Tuple[ScenarioConfig, int]) -> SessionStore:
+def _emit_indexed(task: Tuple[ScenarioConfig, int]) -> Tuple[SessionStore, Dict]:
+    """Worker entry: emit one shard plus the metrics it recorded.
+
+    The shard is emitted under a fresh registry (plan construction, which a
+    spawn-started worker redoes once, stays outside it), whose dict form
+    travels back with the store so the parent can merge worker-side
+    counters and stage timings in shard order.
+    """
     config, index = task
     plan = _plan_for(config)
-    return emit_shard(plan, plan.shards[index])
+    with use_metrics() as metrics:
+        store = emit_shard(plan, plan.shards[index])
+    return store, metrics.to_dict()
 
 
 def _mp_context():
@@ -216,16 +237,42 @@ def generate_sharded(
     """
     config = config or ScenarioConfig()
     workers = max(1, int(workers))
-    plan = _plan_for(config)
-    shards = plan.shards
-    if workers == 1 or len(shards) <= 1:
-        stores = [emit_shard(plan, shard) for shard in shards]
-    else:
-        tasks = [(config, i) for i in range(len(shards))]
-        with _mp_context().Pool(min(workers, len(shards))) as pool:
-            stores = pool.map(_emit_indexed, tasks)
-    # Merge into a rows-free fork so the cached plan stays reusable.
-    builder = plan.gen.builder.fork_tables()
-    for store in stores:
-        builder.adopt_store(store)
-    return plan.gen._finalize(builder.build())
+    metrics = get_metrics()
+    with metrics.span("generate"):
+        with metrics.span("plan"):
+            plan = _plan_for(config)
+        shards = plan.shards
+        metrics.gauge_set("shards.count", len(shards))
+        metrics.gauge_set("shards.workers", workers)
+        emit_wall0 = time.perf_counter()
+        with metrics.span("emit"):
+            tasks = [(config, i) for i in range(len(shards))]
+            if workers == 1 or len(shards) <= 1:
+                results = [_emit_indexed(task) for task in tasks]
+            else:
+                with _mp_context().Pool(min(workers, len(shards))) as pool:
+                    results = pool.map(_emit_indexed, tasks)
+        emit_wall = time.perf_counter() - emit_wall0
+        # Fold worker-side metrics back in shard order; their stage
+        # timings nest under this span tree.  Worker walls sum over
+        # parallel shards, so the per-kind totals can exceed the parent
+        # "emit" wall — the surplus is the parallel speedup.
+        for _store, worker_metrics in results:
+            metrics.merge(worker_metrics, span_prefix="generate/emit")
+        busy = sum(
+            cell["wall"] for path, cell in metrics.spans.items()
+            if path.startswith("generate/emit/shard/")
+        )
+        # Pool-slot time not spent emitting: queueing, pickling, idle
+        # workers at the tail of the shard list.
+        slots = min(workers, max(len(shards), 1))
+        metrics.gauge_set(
+            "shards.queue_wait_seconds", max(0.0, emit_wall * slots - busy)
+        )
+        with metrics.span("merge"):
+            # Merge into a rows-free fork so the cached plan stays reusable.
+            builder = plan.gen.builder.fork_tables()
+            for store, _worker_metrics in results:
+                builder.adopt_store(store)
+            merged = builder.build()
+    return plan.gen._finalize(merged)

@@ -19,6 +19,7 @@ from repro.core import activity, clients, diversity
 from repro.core.classify import CATEGORIES, category_shares
 from repro.core.context import AnalysisContext
 from repro.core.hashes import pot_coverage_summary
+from repro.obs import get_metrics
 from repro.workload.config import CATEGORY_MIX, SSH_SHARE
 from repro.workload.dataset import HoneyfarmDataset
 
@@ -72,6 +73,11 @@ class CalibrationReport:
 
 def validate(dataset: HoneyfarmDataset) -> CalibrationReport:
     """Run every calibration check against a generated dataset."""
+    with get_metrics().span("validate"):
+        return _run_checks(dataset)
+
+
+def _run_checks(dataset: HoneyfarmDataset) -> CalibrationReport:
     ctx = AnalysisContext.from_dataset(dataset)
     store = ctx.store
     checks: List[CalibrationCheck] = []

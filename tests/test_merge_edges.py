@@ -1,0 +1,205 @@
+"""Edge cases for the two merge layers: stores and farm collectors.
+
+``SessionStore.merge`` / ``StoreBuilder.adopt`` remap interned ids when
+combining stores whose string tables diverged; ``FarmCollector.merge``
+folds operator counters.  These tests pin the degenerate shapes the happy
+path never exercises: empty inputs, fully disjoint tables, overlapping
+post-fork tables, and multi-step associativity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.farm.collector import FarmCollector
+from repro.store.records import SessionRecord
+from repro.store.store import SessionStore, StoreBuilder
+
+
+def fingerprint(store: SessionStore) -> tuple:
+    """Full content identity of a store (column bytes + tables + scripts)."""
+    columns = (
+        store.start_time, store.duration, store.honeypot, store.protocol,
+        store.client_ip, store.client_asn, store.client_country,
+        store.n_attempts, store.login_success, store.script_id,
+        store.password_id, store.username_id, store.close_reason,
+        store.version_id,
+    )
+    return (
+        tuple(np.asarray(c).tobytes() for c in columns),
+        tuple(store.hash_ids),
+        tuple(store.honeypots.values()),
+        tuple(store.countries.values()),
+        tuple(store.passwords.values()),
+        tuple(store.usernames.values()),
+        tuple(store.hashes.values()),
+        tuple(store.versions.values()),
+        tuple((s.commands, s.uris) for s in store.scripts),
+    )
+
+
+def _record(i: int, honeypot: str, country: str, **kw) -> SessionRecord:
+    defaults = dict(
+        start_time=float(i * 600), duration=10.0, honeypot_id=honeypot,
+        protocol="ssh", client_ip=1000 + i, client_asn=i,
+        client_country=country, n_login_attempts=1, login_success=True,
+    )
+    defaults.update(kw)
+    return SessionRecord(**defaults)
+
+
+def _store(*records: SessionRecord) -> SessionStore:
+    builder = StoreBuilder()
+    for record in records:
+        builder.append(record)
+    return builder.build()
+
+
+class TestStoreMergeEdges:
+    def test_merge_of_nothing_is_an_empty_store(self):
+        merged = SessionStore.merge([])
+        assert len(merged) == 0
+        assert merged.honeypots.values() == []
+
+    def test_merge_of_empty_stores_is_empty(self):
+        merged = SessionStore.merge([_store(), _store()])
+        assert len(merged) == 0
+
+    def test_empty_plus_nonempty_keeps_content(self):
+        full = _store(
+            _record(0, "pot-a", "US", password="alpha",
+                    commands=("ls",), file_hashes=("h1",)),
+            _record(1, "pot-b", "DE"),
+        )
+        for order in ([_store(), full], [full, _store()]):
+            merged = SessionStore.merge(order)
+            assert fingerprint(merged) == fingerprint(full)
+
+    def test_disjoint_tables_concatenate_in_first_seen_order(self):
+        a = _store(_record(0, "pot-a", "US", password="alpha",
+                           file_hashes=("h1",)))
+        b = _store(_record(1, "pot-b", "DE", password="beta",
+                           file_hashes=("h2",)))
+        merged = SessionStore.merge([a, b])
+        assert merged.honeypots.values() == ["pot-a", "pot-b"]
+        assert merged.passwords.values() == ["alpha", "beta"]
+        assert merged.hashes.values() == ["h1", "h2"]
+        pots = [merged.honeypots.value_of(int(p)) for p in merged.honeypot]
+        assert pots == ["pot-a", "pot-b"]
+
+    def test_overlapping_post_fork_tables_remap_to_shared_ids(self):
+        base = StoreBuilder()
+        base.append(_record(0, "pot-a", "US", password="alpha"))
+        left = base.fork_tables()
+        right = base.fork_tables()
+        # Both forks intern new strings beyond the shared prefix; "pot-c"
+        # gets a different id in each fork, "pot-a" keeps the shared one.
+        left.append(_record(1, "pot-b", "DE", password="beta"))
+        left.append(_record(2, "pot-c", "FR", password="alpha"))
+        right.append(_record(3, "pot-c", "FR", password="gamma"))
+        right.append(_record(4, "pot-a", "US", password="beta"))
+
+        merged = SessionStore.merge([base.build(), left.build(), right.build()])
+        assert len(merged) == 5
+        pots = [merged.honeypots.value_of(int(p)) for p in merged.honeypot]
+        assert pots == ["pot-a", "pot-b", "pot-c", "pot-c", "pot-a"]
+        # The two forks' "pot-c" rows collapse onto one interned id.
+        assert int(merged.honeypot[2]) == int(merged.honeypot[3])
+        assert int(merged.honeypot[0]) == int(merged.honeypot[4])
+        passwords = [merged.passwords.value_of(int(p))
+                     for p in merged.password_id]
+        assert passwords == ["alpha", "beta", "alpha", "gamma", "beta"]
+
+    def test_merge_then_merge_is_associative(self):
+        a = _store(_record(0, "pot-a", "US", password="alpha",
+                           commands=("ls",), file_hashes=("h1",)))
+        b = _store(_record(1, "pot-b", "DE", password="beta",
+                           uris=("http://x/a",), commands=("wget",),
+                           file_hashes=("h2", "h1")))
+        c = _store(_record(2, "pot-c", "FR", password="alpha",
+                           file_hashes=("h3",)))
+        flat = SessionStore.merge([a, b, c])
+        left_nested = SessionStore.merge([SessionStore.merge([a, b]), c])
+        right_nested = SessionStore.merge([a, SessionStore.merge([b, c])])
+        assert fingerprint(flat) == fingerprint(left_nested)
+        assert fingerprint(flat) == fingerprint(right_nested)
+
+    def test_merge_does_not_mutate_inputs(self):
+        a = _store(_record(0, "pot-a", "US", file_hashes=("h1",)))
+        b = _store(_record(1, "pot-b", "DE", file_hashes=("h2",)))
+        before_a, before_b = fingerprint(a), fingerprint(b)
+        SessionStore.merge([a, b])
+        assert fingerprint(a) == before_a
+        assert fingerprint(b) == before_b
+
+
+class TestCollectorMergeEdges:
+    def test_merge_empty_into_empty(self):
+        one, two = FarmCollector(), FarmCollector()
+        one.merge(two)
+        assert one.sessions_total == 0
+        assert one.sessions_by_honeypot == {}
+        assert len(one.build_store()) == 0
+
+    def test_merge_populated_into_empty_and_back(self):
+        empty, full = FarmCollector(), FarmCollector()
+        full.add_record(_record(0, "pot-a", "US"))
+        full.add_record(_record(1, "pot-b", "DE"))
+
+        empty.merge(full)
+        assert empty.sessions_total == 2
+        assert empty.sessions_by_honeypot == {"pot-a": 1, "pot-b": 1}
+
+        # Merging an empty collector back is the identity on counters.
+        full.merge(FarmCollector())
+        assert full.sessions_total == 2
+        assert len(full.build_store()) == 2
+
+    def test_merge_sums_overlapping_honeypot_counters(self):
+        one, two = FarmCollector(), FarmCollector()
+        for i in range(3):
+            one.add_record(_record(i, "pot-a", "US"))
+        two.add_record(_record(3, "pot-a", "US"))
+        two.add_record(_record(4, "pot-b", "DE"))
+        one.merge(two)
+        assert one.sessions_total == 5
+        assert one.sessions_by_honeypot == {"pot-a": 4, "pot-b": 1}
+        store = one.build_store()
+        assert len(store) == 5
+        pots = [store.honeypots.value_of(int(p)) for p in store.honeypot]
+        assert pots == ["pot-a"] * 3 + ["pot-a", "pot-b"]
+
+    def test_merge_is_associative_on_the_store(self):
+        def collectors():
+            xs = [FarmCollector() for _ in range(3)]
+            xs[0].add_record(_record(0, "pot-a", "US", password="alpha"))
+            xs[1].add_record(_record(1, "pot-b", "DE", password="beta"))
+            xs[2].add_record(_record(2, "pot-a", "US", password="alpha"))
+            return xs
+
+        a, b, c = collectors()
+        a.merge(b)
+        a.merge(c)
+        flat = a.build_store()
+
+        x, y, z = collectors()
+        y.merge(z)
+        x.merge(y)
+        nested = x.build_store()
+        assert fingerprint(flat) == fingerprint(nested)
+
+    def test_keep_events_extends_on_merge(self):
+        one = FarmCollector(keep_events=True)
+        two = FarmCollector(keep_events=True)
+        one.events.append("e1")
+        two.events.append("e2")
+        two.events.append("e3")
+        one.merge(two)
+        assert one.events == ["e1", "e2", "e3"]
+
+    def test_events_dropped_when_not_kept(self):
+        one = FarmCollector(keep_events=False)
+        two = FarmCollector(keep_events=True)
+        two.events.append("e2")
+        one.merge(two)
+        assert one.events == []

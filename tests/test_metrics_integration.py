@@ -1,0 +1,162 @@
+"""End-to-end metrics invariants over a tiny (1/40000) pipeline run.
+
+The observability layer is always on; these tests run real pipeline
+stages under an isolated registry and assert the cross-subsystem
+invariants the counters are supposed to guarantee: emitted sessions match
+the store, the event engine drops nothing, the analysis cache actually
+caches, and the CLI surfaces it all.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.report import full_report
+from repro.obs import Metrics, use_metrics
+from repro.workload import ScenarioConfig, generate_dataset
+from repro.workload.validation import validate
+
+TINY = ScenarioConfig(scale=1 / 40000, seed=11, hash_scale=0.004)
+
+
+@pytest.fixture(scope="module")
+def generation():
+    """(dataset, metrics recorded while generating it)."""
+    with use_metrics() as metrics:
+        dataset = generate_dataset(TINY)
+    return dataset, metrics
+
+
+class TestGenerationInvariants:
+    def test_sessions_emitted_matches_store(self, generation):
+        dataset, metrics = generation
+        assert metrics.counter("store.sessions_appended") == len(dataset.store)
+        per_category = sum(
+            value for name, value in metrics.counters.items()
+            if name.startswith("generator.sessions.")
+        )
+        assert per_category == len(dataset.store)
+
+    def test_engine_drops_no_events(self, generation):
+        _, metrics = generation
+        scheduled = metrics.counter("engine.events_scheduled")
+        dispatched = metrics.counter("engine.events_dispatched")
+        cancelled = metrics.counter("engine.events_cancelled")
+        assert dispatched > 0
+        assert scheduled == dispatched + cancelled
+
+    def test_profiler_sessions_are_categorised(self, generation):
+        _, metrics = generation
+        accepted = metrics.counter("honeypot.sessions_accepted")
+        closed = sum(
+            value for name, value in metrics.counters.items()
+            if name.startswith("honeypot.sessions.")
+        )
+        assert accepted > 0
+        assert closed == accepted
+        assert metrics.counter("honeypot.auth_attempts") >= accepted
+
+    def test_generation_stage_spans_recorded(self, generation):
+        _, metrics = generation
+        assert metrics.spans["generate"]["count"] == 1
+        for stage in ("campaigns", "singletons", "background", "freeze"):
+            assert metrics.spans[f"generate/{stage}"]["count"] == 1
+
+    def test_rng_draws_counted(self, generation):
+        _, metrics = generation
+        assert metrics.counter("rng.draws") > 0
+        assert metrics.counter("rng.streams_created") > 0
+
+
+class TestAnalysisInvariants:
+    def test_validate_hits_the_context_cache(self, generation):
+        dataset, _ = generation
+        with use_metrics() as metrics:
+            report = validate(dataset)
+        assert report.passed, report.render()
+        assert metrics.counter("context.hits") > 0
+        assert metrics.counter("context.misses") > 0
+        assert metrics.spans["validate"]["count"] == 1
+
+    def test_report_reuses_shared_intermediates(self, generation):
+        dataset, _ = generation
+        with use_metrics() as metrics:
+            full_report(dataset)
+        # A full report touches ~30 analyses over <10 intermediates: the
+        # shared context must serve far more hits than misses.
+        assert metrics.counter("context.hits") > metrics.counter("context.misses")
+        assert metrics.counter("context.category_codes.miss") == 1
+        assert metrics.spans["report"]["count"] == 1
+        per_figure = [p for p in metrics.spans
+                      if p.startswith("report/fig")]
+        assert len(per_figure) >= 20
+        assert all(metrics.spans[p]["wall"] >= 0 for p in per_figure)
+
+
+class TestLiveFarmInvariants:
+    def test_live_sessions_balance(self):
+        from repro.farm.live import IntrusionBehavior, LiveFarm, ScanBehavior
+
+        with use_metrics() as metrics:
+            farm = LiveFarm(seed=5, n_honeypots=3)
+            farm.launch(0x0A000001, 0, ScanBehavior(), at=1.0)
+            farm.launch(0x0A000002, 1,
+                        IntrusionBehavior(lines=("uname -a", "exit")), at=2.0)
+            farm.run()
+            store = farm.harvest()
+        assert len(store) == 2
+        assert metrics.counter("engine.events_dispatched") > 0
+        assert metrics.counter("engine.events_scheduled") == (
+            metrics.counter("engine.events_dispatched")
+            + metrics.counter("engine.events_cancelled"))
+        assert metrics.counter("honeypot.sessions_accepted") == 2
+        closed = sum(value for name, value in metrics.counters.items()
+                     if name.startswith("honeypot.sessions."))
+        assert closed == 2
+
+
+class TestCliSurface:
+    ARGS = ["--scale", "40000", "--seed", "11", "--hash-scale", "0.004"]
+
+    def test_metrics_flag_prints_summary(self, capsys):
+        from repro.__main__ import main
+
+        with use_metrics():
+            assert main(["validate", *self.ARGS, "--metrics"]) == 0
+        err = capsys.readouterr().err
+        assert "stage timings" in err
+        assert "generate" in err
+        assert "store.sessions_appended" in err
+
+    def test_metrics_path_dumps_json(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        out = tmp_path / "metrics.json"
+        with use_metrics():
+            assert main(["report", *self.ARGS, "--metrics", str(out)]) == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert data["counters"]["store.sessions_appended"] > 0
+        assert data["counters"]["engine.events_dispatched"] > 0
+        assert data["counters"]["context.hits"] > 0
+        assert any(p.startswith("report/fig") for p in data["spans"])
+        # The dump round-trips through the registry loader.
+        assert Metrics.from_dict(data).to_dict() == data
+
+    def test_env_hook_reports_without_flag(self, capsys, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.setenv("REPRO_METRICS", "1")
+        with use_metrics():
+            assert main(["validate", *self.ARGS]) == 0
+        assert "stage timings" in capsys.readouterr().err
+
+    def test_no_flag_no_env_is_silent(self, capsys, monkeypatch):
+        from repro.__main__ import main
+
+        monkeypatch.delenv("REPRO_METRICS", raising=False)
+        with use_metrics():
+            assert main(["validate", *self.ARGS]) == 0
+        assert "stage timings" not in capsys.readouterr().err

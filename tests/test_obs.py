@@ -1,0 +1,294 @@
+"""Unit tests for the observability layer (``repro.obs``).
+
+Covers the registry instruments (counters, gauges, histograms, timers,
+spans), serialisation round-trips, merge semantics, and the multiprocess
+contract: shard metrics recorded by workers must merge to the same
+session/draw totals no matter how many workers emitted them.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Histogram,
+    Metrics,
+    get_metrics,
+    inc,
+    render,
+    use_metrics,
+)
+
+
+class TestCounters:
+    def test_inc_accumulates(self):
+        m = Metrics()
+        m.inc("a")
+        m.inc("a", 4)
+        assert m.counter("a") == 5
+        assert m.counter("never-touched") == 0
+
+    def test_module_level_inc_targets_current_registry(self):
+        with use_metrics() as m:
+            inc("hot", 3)
+            assert m.counter("hot") == 3
+        assert get_metrics().counter("hot") == 0
+
+
+class TestGauges:
+    def test_set_overwrites(self):
+        m = Metrics()
+        m.gauge_set("g", 5)
+        m.gauge_set("g", 2)
+        assert m.gauges["g"] == 2.0
+
+    def test_max_keeps_high_water_mark(self):
+        m = Metrics()
+        m.gauge_max("depth", 3)
+        m.gauge_max("depth", 9)
+        m.gauge_max("depth", 4)
+        assert m.gauges["depth"] == 9.0
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        h = Histogram()
+        for v in range(1, 11):
+            h.observe(v)
+        assert h.count == 10
+        assert h.total == 55.0
+        assert h.mean == 5.5
+        assert h.max == 10.0
+
+    def test_interpolated_percentiles(self):
+        h = Histogram(list(range(1, 11)))  # 1..10
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == pytest.approx(5.5)
+        assert h.percentile(90) == pytest.approx(9.1)
+        assert h.percentile(100) == 10.0
+
+    def test_empty_histogram_is_all_zero(self):
+        h = Histogram()
+        assert (h.count, h.total, h.mean, h.max, h.percentile(50)) == (
+            0, 0.0, 0.0, 0.0, 0.0)
+
+    def test_merge_is_observation_concat(self):
+        a, b = Histogram([1.0, 3.0]), Histogram([2.0])
+        a.merge(b)
+        assert sorted(a.values) == [1.0, 2.0, 3.0]
+
+    def test_timer_observes_seconds(self):
+        m = Metrics()
+        with m.timer("t"):
+            pass
+        with m.timer("t"):
+            pass
+        h = m.histograms["t"]
+        assert h.count == 2
+        assert all(v >= 0 for v in h.values)
+
+
+class TestSpans:
+    def test_nesting_builds_slash_paths(self):
+        m = Metrics()
+        with m.span("outer"):
+            with m.span("inner"):
+                pass
+            with m.span("inner"):
+                pass
+        assert set(m.spans) == {"outer", "outer/inner"}
+        assert m.spans["outer"]["count"] == 1
+        assert m.spans["outer/inner"]["count"] == 2
+        assert m.spans["outer"]["wall"] >= m.spans["outer/inner"]["wall"]
+
+    def test_exception_still_records_and_pops(self):
+        m = Metrics()
+        with pytest.raises(RuntimeError):
+            with m.span("failing"):
+                raise RuntimeError("boom")
+        assert m.spans["failing"]["count"] == 1
+        with m.span("after"):
+            pass
+        assert "after" in m.spans  # not "failing/after": stack unwound
+
+
+class TestSerialisation:
+    def _populated(self) -> Metrics:
+        m = Metrics()
+        m.inc("c", 7)
+        m.gauge_set("g", 2.5)
+        m.observe("h", 1.0)
+        m.observe("h", 3.0)
+        with m.span("s"):
+            with m.span("t"):
+                pass
+        return m
+
+    def test_round_trip(self):
+        m = self._populated()
+        clone = Metrics.from_dict(m.to_dict())
+        assert clone.to_dict() == m.to_dict()
+
+    def test_dict_form_is_json_serialisable(self):
+        m = self._populated()
+        restored = json.loads(json.dumps(m.to_dict()))
+        assert Metrics.from_dict(restored).to_dict() == m.to_dict()
+
+    def test_render_mentions_every_section(self):
+        text = render(self._populated())
+        for fragment in ("stage timings", "counters", "gauges",
+                         "histograms", "s", "  t", "c", "g", "h"):
+            assert fragment in text
+
+
+class TestMerge:
+    def test_counters_sum_gauges_max_histograms_concat(self):
+        a, b = Metrics(), Metrics()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        b.inc("only-b", 1)
+        a.gauge_max("g", 5)
+        b.gauge_max("g", 4)
+        a.observe("h", 1.0)
+        b.observe("h", 2.0)
+        a.merge(b)
+        assert a.counter("c") == 5
+        assert a.counter("only-b") == 1
+        assert a.gauges["g"] == 5.0
+        assert sorted(a.histograms["h"].values) == [1.0, 2.0]
+
+    def test_span_cells_sum(self):
+        a, b = Metrics(), Metrics()
+        with a.span("work"):
+            pass
+        with b.span("work"):
+            pass
+        a.merge(b)
+        assert a.spans["work"]["count"] == 2
+
+    def test_span_prefix_reroots_worker_paths(self):
+        parent, worker = Metrics(), Metrics()
+        with worker.span("shard"):
+            with worker.span("campaign"):
+                pass
+        parent.merge(worker.to_dict(), span_prefix="generate/emit")
+        assert set(parent.spans) == {
+            "generate/emit/shard", "generate/emit/shard/campaign"}
+
+    def test_merge_accepts_dict_or_metrics(self):
+        a, b = Metrics(), Metrics()
+        b.inc("x")
+        a.merge(b)
+        a.merge(b.to_dict())
+        assert a.counter("x") == 2
+
+    def test_delta_since_reports_only_movement(self):
+        m = Metrics()
+        m.inc("before", 1)
+        with m.span("old"):
+            pass
+        snapshot = m.to_dict()
+        m.inc("before", 2)
+        m.inc("fresh", 1)
+        with m.span("new"):
+            pass
+        delta = m.delta_since(snapshot)
+        assert delta["counters"] == {"before": 2, "fresh": 1}
+        assert set(delta["spans"]) == {"new"}
+        assert delta["spans"]["new"]["count"] == 1
+
+
+class TestUseMetrics:
+    def test_swaps_and_restores(self):
+        outer = get_metrics()
+        with use_metrics() as inner:
+            assert get_metrics() is inner
+            assert inner is not outer
+        assert get_metrics() is outer
+
+    def test_restores_on_exception(self):
+        outer = get_metrics()
+        with pytest.raises(ValueError):
+            with use_metrics():
+                raise ValueError
+        assert get_metrics() is outer
+
+    def test_accepts_existing_registry(self):
+        mine = Metrics()
+        with use_metrics(mine) as active:
+            assert active is mine
+            inc("k")
+        assert mine.counter("k") == 1
+
+
+class TestWorkerMetricsMerge:
+    """The multiprocess contract: shard metrics are worker-count-invariant.
+
+    Each worker records its shard under a fresh registry and ships the
+    dict back; the parent folds them in shard order.  The session/draw
+    accounting must therefore be identical for every worker count (the
+    engine/honeypot profiling counters are excluded: script-profile
+    caches are per-process, so a second worker legitimately re-profiles).
+    """
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        import repro.workload.shards as shards
+        from repro.obs import use_metrics
+        from repro.workload import ScenarioConfig
+        from repro.workload.shards import generate_sharded
+
+        config = ScenarioConfig(scale=1 / 40000, seed=7, hash_scale=0.004)
+        out = {}
+        for workers in (1, 2):
+            shards._PLAN = None  # both runs pay plan construction
+            with use_metrics() as metrics:
+                dataset = generate_sharded(config, workers=workers)
+            out[workers] = (dataset, metrics)
+        return out
+
+    @staticmethod
+    def _invariant_counters(metrics: Metrics):
+        return {
+            name: value for name, value in metrics.counters.items()
+            if not name.startswith(("engine.", "honeypot."))
+        }
+
+    def test_counters_match_across_worker_counts(self, runs):
+        assert (self._invariant_counters(runs[1][1])
+                == self._invariant_counters(runs[2][1]))
+
+    def test_sessions_appended_equals_store_length(self, runs):
+        for dataset, metrics in runs.values():
+            assert metrics.counter("store.sessions_appended") == len(dataset.store)
+
+    def test_generator_category_counters_sum_to_store(self, runs):
+        for dataset, metrics in runs.values():
+            emitted = sum(
+                value for name, value in metrics.counters.items()
+                if name.startswith("generator.sessions.")
+            )
+            assert emitted == len(dataset.store)
+
+    def test_rng_draws_match_across_worker_counts(self, runs):
+        assert runs[1][1].counter("rng.draws") == runs[2][1].counter("rng.draws")
+        assert runs[1][1].counter("rng.draws") > 0
+
+    def test_shard_spans_arrive_under_parent_tree(self, runs):
+        for _, metrics in runs.values():
+            shard_paths = [p for p in metrics.spans
+                           if p.startswith("generate/emit/shard/")]
+            assert shard_paths
+            assert metrics.spans["generate"]["count"] == 1
+            emitted = sum(metrics.spans[p]["count"] for p in shard_paths)
+            assert emitted == metrics.counter("shards.emitted")
+
+    def test_shard_gauges_present(self, runs):
+        for _, metrics in runs.values():
+            assert metrics.gauges["shards.count"] > 0
+            assert "shards.queue_wait_seconds" in metrics.gauges
+            hist = metrics.histograms["shards.sessions_per_shard"]
+            assert hist.count == metrics.counter("shards.emitted")
+            assert hist.total == metrics.counter("store.sessions_appended")
