@@ -76,10 +76,22 @@ def pytest_terminal_summary(terminalreporter):
 
 @pytest.fixture(scope="session")
 def dataset():
+    """The shared benchmark trace.
+
+    With ``REPRO_CACHE`` (or ``--cache-dir`` semantics via the env var)
+    set, repeated benchmark runs at the same scale/seed load the trace
+    from the fingerprint cache instead of regenerating it.
+    """
     import common
 
+    from repro.workload.cache import resolve_cache_dir
+
     config = bench_config()
-    return generate_dataset(config, workers=common.workers_from_env())
+    return generate_dataset(
+        config,
+        workers=common.workers_from_env(),
+        cache=resolve_cache_dir(),
+    )
 
 
 @pytest.fixture(scope="session")

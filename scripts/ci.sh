@@ -13,3 +13,15 @@ python -m pytest -x -q
 
 echo "== sharded generation smoke (validate, 2 workers, with metrics) =="
 python -m repro validate --scale 40000 --workers 2 --metrics
+
+echo "== dataset cache round-trip smoke (cold generate, warm hit) =="
+CACHE_DIR="$(mktemp -d)"
+trap 'rm -rf "$CACHE_DIR"' EXIT
+python -m repro report --scale 40000 --cache-dir "$CACHE_DIR" > /dev/null
+WARM_METRICS="$(python -m repro report --scale 40000 --cache-dir "$CACHE_DIR" \
+    --metrics 2>&1 > /dev/null)"
+echo "$WARM_METRICS" | grep "cache.hits" \
+    || { echo "warm run did not hit the cache"; exit 1; }
+
+echo "== generation benchmark (quick) =="
+REPRO_BENCH_GEN_SCALE=40000 python -m pytest benchmarks/bench_generation.py -q

@@ -52,6 +52,20 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                         help="after the command, print the pipeline stage "
                              "timings and counters to stderr; with PATH, "
                              "also dump the registry as JSON there")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache generated datasets under DIR, keyed by "
+                             "a fingerprint of the scenario config; a rerun "
+                             "with the same config loads instead of "
+                             "regenerating (default: $REPRO_CACHE if set)")
+
+
+def _add_load_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--load", default=None, metavar="PATH",
+                        help="analyse an existing trace instead of "
+                             "generating: a dataset directory written by "
+                             "save_dataset, or a bare .npz / .jsonl[.gz] "
+                             "trace (deployment is rebuilt from --seed, "
+                             "intel starts empty)")
 
 
 def _config(args):
@@ -66,15 +80,84 @@ def _config(args):
     )
 
 
+def _load_trace(path: str, config):
+    """Wrap an existing trace file/directory as a HoneyfarmDataset."""
+    from pathlib import Path
+
+    from repro.workload.io import load_dataset
+
+    p = Path(path)
+    if p.is_dir():
+        return load_dataset(p)
+
+    if p.suffix == ".npz":
+        from repro.store.npz import load_npz
+
+        store = load_npz(p)
+    elif path.endswith((".jsonl", ".jsonl.gz")):
+        from repro.store.io import read_jsonl
+
+        store = read_jsonl(p)
+    else:
+        raise SystemExit(
+            f"--load: {path} is neither a dataset directory nor a "
+            ".npz/.jsonl[.gz] trace"
+        )
+
+    # A bare trace carries no deployment/intel sidecar: rebuild the
+    # deployment the way the generator would for this seed, start from an
+    # empty intel database (tables that need it will show zero coverage).
+    from repro.farm.deployment import build_default_deployment
+    from repro.geo.registry import GeoRegistry
+    from repro.intel.database import IntelDatabase
+    from repro.simulation.rng import RngStream
+    from repro.workload.dataset import HoneyfarmDataset
+
+    registry = GeoRegistry()
+    deployment = build_default_deployment(
+        RngStream(config.seed, "workload.deployment"), registry
+    )
+    return HoneyfarmDataset(
+        config=config,
+        store=store,
+        deployment=deployment,
+        registry=registry,
+        intel=IntelDatabase(),
+    )
+
+
+def _dataset(args):
+    """The dataset a report-style command should analyse.
+
+    ``--load`` wins (no generation at all); otherwise generate, consulting
+    the fingerprint cache when ``--cache-dir`` or ``$REPRO_CACHE`` names one.
+    """
+    config = _config(args)
+    load = getattr(args, "load", None)
+    if load:
+        return _load_trace(load, config)
+
+    from repro.workload import generate_dataset
+    from repro.workload.cache import resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(getattr(args, "cache_dir", None))
+    return generate_dataset(config, workers=args.workers, cache=cache_dir)
+
+
 def cmd_generate(args) -> int:
     from repro.store.io import write_jsonl
     from repro.store.npz import save_npz
     from repro.workload import generate_dataset
 
+    from repro.workload.cache import resolve_cache_dir
+
     config = _config(args)
     print(f"generating {config.total_sessions:,} sessions "
           f"(seed {config.seed}) ...", file=sys.stderr)
-    dataset = generate_dataset(config, workers=args.workers)
+    dataset = generate_dataset(
+        config, workers=args.workers,
+        cache=resolve_cache_dir(getattr(args, "cache_dir", None)),
+    )
     if args.out.endswith((".jsonl", ".jsonl.gz")):
         count = write_jsonl(iter(dataset.store), args.out)
         print(f"wrote {count:,} records to {args.out}")
@@ -86,9 +169,8 @@ def cmd_generate(args) -> int:
 
 def cmd_report(args) -> int:
     from repro.core.report import print_summary
-    from repro.workload import generate_dataset
 
-    dataset = generate_dataset(_config(args), workers=args.workers)
+    dataset = _dataset(args)
     print(print_summary(dataset))
     return 0
 
@@ -101,9 +183,8 @@ def cmd_tables(args) -> int:
         table3_commands,
         tables_4_5_6,
     )
-    from repro.workload import generate_dataset
 
-    dataset = generate_dataset(_config(args), workers=args.workers)
+    dataset = _dataset(args)
     store = dataset.store
     labels = {c.primary_hash: c.campaign_id for c in dataset.campaigns
               if c.primary_hash}
@@ -134,10 +215,9 @@ def cmd_tables(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    from repro.workload import generate_dataset
     from repro.workload.validation import validate
 
-    dataset = generate_dataset(_config(args), workers=args.workers)
+    dataset = _dataset(args)
     report = validate(dataset)
     print(report.render())
     if report.passed:
@@ -186,15 +266,18 @@ def main(argv=None) -> int:
 
     p_report = sub.add_parser("report", help="print paper-vs-measured summary")
     _add_scenario_args(p_report)
+    _add_load_arg(p_report)
     p_report.set_defaults(func=cmd_report)
 
     p_tables = sub.add_parser("tables", help="print Tables 1-6")
     _add_scenario_args(p_tables)
+    _add_load_arg(p_tables)
     p_tables.set_defaults(func=cmd_tables)
 
     p_validate = sub.add_parser(
         "validate", help="check calibration against the paper's targets")
     _add_scenario_args(p_validate)
+    _add_load_arg(p_validate)
     p_validate.set_defaults(func=cmd_validate)
 
     args = parser.parse_args(argv)

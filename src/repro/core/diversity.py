@@ -49,22 +49,39 @@ def session_relations(
     pot_countries: Sequence[str],
     mask: Optional[np.ndarray] = None,
 ) -> np.ndarray:
-    """Per-session relation bit (1, 2 or 4) between client and honeypot."""
+    """Per-session relation bit (1, 2 or 4) between client and honeypot.
+
+    Country-string comparisons and continent lookups happen once per
+    *table entry* (dozens), then fan out to the sessions with integer
+    gathers — no per-session Python work.
+    """
     store = as_store(store)
-    idx = np.arange(len(store)) if mask is None else np.nonzero(mask)[0]
-    client_country_ids = store.client_country[idx]
-    client_codes = store.countries.values()
-    client_countries = np.array(client_codes, dtype=object)[client_country_ids]
+    if mask is None:
+        client_country_ids = store.client_country
+        pots = store.honeypot
+    else:
+        idx = np.nonzero(mask)[0]
+        client_country_ids = store.client_country[idx]
+        pots = store.honeypot[idx]
 
-    pot_country_arr = np.array(list(pot_countries), dtype=object)[store.honeypot[idx]]
+    table_cont = _continent_codes(store.countries.values())
+    pot_list = list(pot_countries)
+    pot_cont = _continent_codes(pot_list)
+    # Each pot's country as an id in the store's country table (-1 when no
+    # client ever came from it; ids are unique, so id equality is string
+    # equality).
+    pot_country_id = np.array(
+        [store.countries.id_of(cc) if cc in store.countries else -1
+         for cc in pot_list],
+        dtype=np.int64,
+    )
 
-    same_country = client_countries == pot_country_arr
+    same_country = client_country_ids == pot_country_id[pots]
+    client_cont = table_cont[client_country_ids]
+    same_continent = (client_cont == pot_cont[pots]) & (client_cont >= 0)
 
-    client_cont = _continent_codes(list(client_countries))
-    pot_cont = _continent_codes(list(pot_country_arr))
-    same_continent = (client_cont == pot_cont) & (client_cont >= 0)
-
-    relation = np.full(len(idx), BIT_OUT_CONTINENT, dtype=np.uint8)
+    relation = np.full(len(client_country_ids), BIT_OUT_CONTINENT,
+                       dtype=np.uint8)
     relation[same_continent] = BIT_SAME_CONTINENT
     relation[same_country] = BIT_SAME_COUNTRY
     return relation

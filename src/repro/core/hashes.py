@@ -30,20 +30,27 @@ class HashOccurrences:
 
     @classmethod
     def build(cls, store: SessionStore) -> "HashOccurrences":
-        sessions: List[int] = []
-        hashes: List[int] = []
-        for i, ids in enumerate(store.hash_ids):
-            if not ids:
-                continue
-            seen = set()
-            for h in ids:
-                if h not in seen:
-                    seen.add(h)
-                    sessions.append(i)
-                    hashes.append(h)
+        col = store.hash_ids
+        values = col.values
+        if not len(values):
+            return cls(
+                session_idx=np.zeros(0, dtype=np.int64),
+                hash_id=np.zeros(0, dtype=np.int64),
+                store=store,
+            )
+        session_of = np.repeat(
+            np.arange(len(col), dtype=np.int64), col.lengths
+        )
+        # Dedup repeated hashes within a session while keeping rows in
+        # (session order, first-seen-within-session order): unique
+        # (session, hash) pairs keyed jointly, reduced to their first flat
+        # position, then emitted in position order.
+        base = np.int64(max(len(store.hashes), int(values.max()) + 1))
+        _, first = np.unique(session_of * base + values, return_index=True)
+        first.sort()
         return cls(
-            session_idx=np.asarray(sessions, dtype=np.int64),
-            hash_id=np.asarray(hashes, dtype=np.int64),
+            session_idx=session_of[first],
+            hash_id=values[first],
             store=store,
         )
 

@@ -98,10 +98,15 @@ def _parse_simple(text: str) -> SimpleCommand:
         else:
             target = target[1:]
         redirect_path = target.strip().split()[0] if target.strip() else None
-    try:
-        argv = shlex.split(body, posix=True)
-    except ValueError:
+    if "'" not in body and '"' not in body and "\\" not in body:
+        # No quoting or escapes: posix shlex with whitespace_split reduces
+        # to plain whitespace splitting, so skip the tokenizer machinery.
         argv = body.split()
+    else:
+        try:
+            argv = shlex.split(body, posix=True)
+        except ValueError:
+            argv = body.split()
     return SimpleCommand(
         text=text.strip(),
         argv=argv,
@@ -110,10 +115,32 @@ def _parse_simple(text: str) -> SimpleCommand:
     )
 
 
+#: Parse memo: scripted sessions re-type the same recon/dropper lines
+#: endlessly, so parsing is the shell's hottest pure function.  Parsed
+#: templates are cached per line; callers get fresh copies (argv included)
+#: so a cached parse can never be mutated through a previous caller.
+_PARSE_CACHE: dict = {}
+_PARSE_CACHE_MAX = 8192
+
+
 def split_command_line(line: str) -> List[SimpleCommand]:
     """Split one input line into its simple commands.
 
     >>> [c.name for c in split_command_line("uname -a; free -m | grep Mem")]
     ['uname', 'free', 'grep']
     """
-    return [_parse_simple(part) for part in _split_top_level(line)]
+    cached = _PARSE_CACHE.get(line)
+    if cached is None:
+        if len(_PARSE_CACHE) >= _PARSE_CACHE_MAX:
+            _PARSE_CACHE.clear()
+        cached = [_parse_simple(part) for part in _split_top_level(line)]
+        _PARSE_CACHE[line] = cached
+    return [
+        SimpleCommand(
+            text=c.text,
+            argv=list(c.argv),
+            redirect_path=c.redirect_path,
+            redirect_append=c.redirect_append,
+        )
+        for c in cached
+    ]

@@ -28,6 +28,12 @@ def _tokenize(command: str) -> List[str]:
         return command.split()
 
 
+#: Extraction memo — URI detection is a pure function of the command text
+#: and scripted sessions repeat the same lines; callers get fresh lists.
+_URI_CACHE: dict = {}
+_URI_CACHE_MAX = 8192
+
+
 def extract_uris(command: str) -> List[str]:
     """All remote-resource URIs referenced by a command line.
 
@@ -36,7 +42,21 @@ def extract_uris(command: str) -> List[str]:
     >>> extract_uris("tftp -g -r mips 203.0.113.9")
     ['tftp://203.0.113.9/mips']
     """
+    cached = _URI_CACHE.get(command)
+    if cached is None:
+        if len(_URI_CACHE) >= _URI_CACHE_MAX:
+            _URI_CACHE.clear()
+        cached = _extract_uris_uncached(command)
+        _URI_CACHE[command] = cached
+    return list(cached)
+
+
+def _extract_uris_uncached(command: str) -> List[str]:
     uris = list(dict.fromkeys(_URL_RE.findall(command)))
+    # A fetch tool can only lead the argv if its name appears in the text
+    # at all — skip tokenising the (vast) majority of lines that name none.
+    if not any(tool in command for tool in _FETCH_TOOLS):
+        return uris
     tokens = _tokenize(command)
     if not tokens:
         return uris

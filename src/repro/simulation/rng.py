@@ -132,7 +132,22 @@ class RngStream:
         return int(self._rng.choice(n, p=p))
 
     def choice_indices(self, n: int, size: int, p=None, replace: bool = True) -> np.ndarray:
-        return self._rng.choice(n, size=size, p=p, replace=replace)
+        """Index draws, optionally weighted / without replacement.
+
+        The ``replace=True`` paths inline what ``Generator.choice`` does
+        internally — plain ``integers`` without weights, an inverse-CDF
+        lookup over ``random(size)`` with them — skipping its per-call
+        argument validation.  The draw sequence is identical; this wrapper
+        sits under every emitted session block.
+        """
+        gen = self._rng
+        if replace:
+            if p is None:
+                return gen.integers(0, n, size=size)
+            cdf = np.cumsum(p, dtype=np.float64)
+            cdf /= cdf[-1]
+            return cdf.searchsorted(gen.random(size), side="right")
+        return gen.choice(n, size=size, p=p, replace=replace)
 
     def sample(self, seq: Sequence[T], k: int) -> list:
         """Sample ``k`` distinct elements (k is clamped to ``len(seq)``)."""

@@ -4,20 +4,24 @@ JSONL (``repro.store.io``) is the interchange format; this module is the
 fast path for saving/reloading large generated traces: all numeric columns
 are stored as-is, string tables and interned scripts as object arrays, and
 the variable-length per-session hash lists in CSR-style (values +
-offsets).  Round-trips are exact.
+offsets) — the same shape the in-memory :class:`HashIdColumn` uses, so
+save and load move whole arrays with no per-row work.  Round-trips are
+exact.
 """
 
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
+from repro.obs import get_metrics
 from repro.store.interning import StringTable
 from repro.store.records import CommandScript
-from repro.store.store import SessionStore
+from repro.store.store import HashIdColumn, SessionStore
 
 PathLike = Union[str, Path]
 
@@ -36,20 +40,12 @@ _TABLES = ("honeypots", "countries", "passwords", "usernames", "hashes",
 
 def save_npz(store: SessionStore, path: PathLike) -> None:
     """Save a store to ``path`` (.npz)."""
+    t0 = time.perf_counter()
     arrays = {name: getattr(store, name) for name in _NUMERIC_COLUMNS}
 
-    # Variable-length hash lists -> CSR (values, offsets).
-    lengths = np.fromiter(
-        (len(t) for t in store.hash_ids), dtype=np.int64, count=len(store)
-    )
-    offsets = np.zeros(len(store) + 1, dtype=np.int64)
-    np.cumsum(lengths, out=offsets[1:])
-    values = np.fromiter(
-        (h for t in store.hash_ids for h in t), dtype=np.int64,
-        count=int(offsets[-1]),
-    )
-    arrays["hash_values"] = values
-    arrays["hash_offsets"] = offsets
+    # The in-memory hash column is already CSR — persist it verbatim.
+    arrays["hash_values"] = np.asarray(store.hash_ids.values, dtype=np.int64)
+    arrays["hash_offsets"] = np.asarray(store.hash_ids.offsets, dtype=np.int64)
 
     for table_name in _TABLES:
         table: StringTable = getattr(store, table_name)
@@ -61,24 +57,33 @@ def save_npz(store: SessionStore, path: PathLike) -> None:
     arrays["scripts_json"] = np.array([scripts_json], dtype=object)
     arrays["format_version"] = np.array([_FORMAT_VERSION])
 
-    np.savez_compressed(Path(path), **arrays)
+    path = Path(path)
+    with get_metrics().span("store/save_npz"):
+        np.savez_compressed(path, **arrays)
+    metrics = get_metrics()
+    metrics.inc("store.npz_saves")
+    metrics.inc("store.npz_saved_sessions", len(store))
+    elapsed = time.perf_counter() - t0
+    metrics.observe("store.npz_save_seconds", elapsed)
+    if elapsed > 0:
+        metrics.gauge_set(
+            "store.npz_save_bytes_per_second",
+            path.stat().st_size / elapsed,
+        )
 
 
 def load_npz(path: PathLike) -> SessionStore:
     """Load a store saved by :func:`save_npz`."""
-    with np.load(Path(path), allow_pickle=True) as data:
+    t0 = time.perf_counter()
+    path = Path(path)
+    with get_metrics().span("store/load_npz"), \
+            np.load(path, allow_pickle=True) as data:
         version = int(data["format_version"][0])
         if version != _FORMAT_VERSION:
             raise ValueError(f"unsupported store format version {version}")
 
         columns = {name: data[name] for name in _NUMERIC_COLUMNS}
-
-        offsets = data["hash_offsets"]
-        values = data["hash_values"]
-        hash_ids = [
-            tuple(int(h) for h in values[offsets[i]:offsets[i + 1]])
-            for i in range(len(offsets) - 1)
-        ]
+        hash_ids = HashIdColumn(data["hash_values"], data["hash_offsets"])
 
         tables = {}
         for table_name in _TABLES:
@@ -91,9 +96,20 @@ def load_npz(path: PathLike) -> SessionStore:
             for commands, uris in json.loads(str(data["scripts_json"][0]))
         ]
 
-    return SessionStore(
+    store = SessionStore(
         hash_ids=hash_ids,
         scripts=scripts,
         **columns,
         **tables,
     )
+    metrics = get_metrics()
+    metrics.inc("store.npz_loads")
+    metrics.inc("store.npz_loaded_sessions", len(store))
+    elapsed = time.perf_counter() - t0
+    metrics.observe("store.npz_load_seconds", elapsed)
+    if elapsed > 0:
+        metrics.gauge_set(
+            "store.npz_load_bytes_per_second",
+            path.stat().st_size / elapsed,
+        )
+    return store

@@ -12,7 +12,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+import numpy as np
+
 from repro.honeypot.session import CloseReason, SessionSummary
+
+#: Canonical fixed-dtype store columns, in builder/persistence order.
+#: One place defines the on-disk and in-memory layout; the chunked
+#: :class:`~repro.store.store.StoreBuilder` accumulates exactly these and
+#: ``repro.store.npz`` persists them verbatim (plus the derived
+#: ``n_commands`` / ``has_uri`` script columns and the CSR hash column).
+STORE_COLUMN_DTYPES = {
+    "start_time": np.float64,
+    "duration": np.float32,
+    "honeypot": np.int32,
+    "protocol": np.uint8,
+    "client_ip": np.uint32,
+    "client_asn": np.int32,
+    "client_country": np.int32,
+    "n_attempts": np.uint16,
+    "login_success": np.bool_,
+    "script_id": np.int32,
+    "password_id": np.int32,
+    "username_id": np.int32,
+    "close_reason": np.uint8,
+    "version_id": np.int32,
+}
 
 
 @dataclass(frozen=True)

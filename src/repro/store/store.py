@@ -1,16 +1,26 @@
-"""Columnar session store and its builder."""
+"""Columnar session store and its builder.
+
+The builder is columnar end-to-end: every fixed-dtype column accumulates
+fixed-size numpy chunks (:class:`_ColumnChunks`), block appends adopt the
+caller's arrays with zero per-element Python work, and ``build()`` is a
+single concatenate per column.  Variable-length per-session hash lists are
+CSR-shaped (values + offsets) all the way through — in the builder, in the
+frozen :class:`SessionStore` (:class:`HashIdColumn`) and on disk
+(``repro.store.npz``), so nothing ever round-trips through per-row Python
+tuples on the hot path.
+"""
 
 from __future__ import annotations
 
 import time
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.honeypot.session import CloseReason
 from repro.obs import get_metrics, inc as _metric_inc
 from repro.store.interning import StringTable
-from repro.store.records import CommandScript, SessionRecord
+from repro.store.records import STORE_COLUMN_DTYPES, CommandScript, SessionRecord
 
 SECONDS_PER_DAY = 86_400
 
@@ -20,6 +30,212 @@ _PROTOCOL_NAMES = ("ssh", "telnet")
 
 _CLOSE_REASONS = tuple(reason.value for reason in CloseReason)
 _CLOSE_REASON_IDS = {name: i for i, name in enumerate(_CLOSE_REASONS)}
+
+#: Rows per scalar-append chunk.  Large enough that chunk bookkeeping is
+#: invisible next to the per-row work, small enough that a freshly sealed
+#: partial chunk wastes little memory.
+CHUNK_ROWS = 65_536
+
+#: Blocks at least this long are adopted as chunks of their own (zero
+#: copy); shorter blocks are copied into the open chunk so thousands of
+#: small day-blocks don't degenerate into thousands of tiny chunks.
+ADOPT_ROWS = 4_096
+
+
+class _ColumnChunks:
+    """Fixed-dtype column accumulator: a list of sealed numpy chunks.
+
+    Scalar appends fill a preallocated fixed-size chunk; array extends seal
+    the open chunk and adopt the (dtype-coerced) array as a chunk of its
+    own, so a block append costs one vectorised conversion at most and no
+    per-element Python work.  ``concatenate`` closes the column into one
+    contiguous array.
+    """
+
+    __slots__ = ("dtype", "_chunks", "_cur", "_fill")
+
+    def __init__(self, dtype) -> None:
+        self.dtype = np.dtype(dtype)
+        self._chunks: List[np.ndarray] = []
+        self._cur: Optional[np.ndarray] = None
+        self._fill = 0
+
+    def append(self, value) -> None:
+        cur = self._cur
+        if cur is None:
+            cur = self._cur = np.empty(CHUNK_ROWS, self.dtype)
+            self._fill = 0
+        cur[self._fill] = value
+        self._fill += 1
+        if self._fill == CHUNK_ROWS:
+            self._chunks.append(cur)
+            self._cur = None
+
+    def _seal(self) -> None:
+        """Close the open scalar chunk (if any) at its current fill."""
+        if self._cur is not None:
+            self._chunks.append(self._cur[: self._fill].copy())
+            self._cur = None
+
+    def extend(self, values) -> None:
+        """Append a whole array (or sequence) of values.
+
+        The hot path is one vectorised dtype coercion plus one slice
+        assignment into the open fixed-size chunk, so thousands of small
+        day-blocks cost one numpy op each instead of one chunk each.
+        Blocks that don't fit the open chunk — including anything of
+        :data:`ADOPT_ROWS` or more — seal it and are adopted as chunks of
+        their own; the caller hands over ownership, so an ndarray of the
+        column dtype is taken without a copy.
+        """
+        arr = np.asarray(values, dtype=self.dtype)
+        if arr.ndim != 1:
+            raise ValueError("column blocks must be one-dimensional")
+        n = arr.shape[0]
+        if not n:
+            return
+        cur = self._cur
+        fill = self._fill
+        if cur is not None and n < ADOPT_ROWS and fill + n <= CHUNK_ROWS:
+            cur[fill:fill + n] = arr
+            self._fill = fill + n
+            return
+        if cur is None and n < ADOPT_ROWS:
+            cur = self._cur = np.empty(CHUNK_ROWS, self.dtype)
+            cur[:n] = arr
+            self._fill = n
+            return
+        self._seal()
+        self._chunks.append(arr)
+
+    def __len__(self) -> int:
+        return sum(len(c) for c in self._chunks) + self._fill
+
+    def concatenate(self) -> np.ndarray:
+        self._seal()
+        if not self._chunks:
+            return np.zeros(0, self.dtype)
+        if len(self._chunks) == 1:
+            return self._chunks[0]
+        out = np.concatenate(self._chunks)
+        # Keep the column usable (and cheap) after a freeze: future
+        # appends extend the already-concatenated single chunk.
+        self._chunks = [out]
+        return out
+
+
+class HashIdColumn:
+    """CSR (values + offsets) view of the per-session hash-id lists.
+
+    Row ``i`` is ``values[offsets[i]:offsets[i+1]]``; indexing returns the
+    row as a tuple (the historical list-of-tuples interface), while the
+    vectorised accessors (``values``, ``offsets``, ``lengths``, ``take``,
+    ``remap``) are what persistence, filtering and the analyses use.
+    """
+
+    __slots__ = ("values", "offsets", "_lengths")
+
+    def __init__(self, values: np.ndarray, offsets: np.ndarray):
+        self.values = np.asarray(values, dtype=np.int64)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self._lengths: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_lists(cls, lists: Sequence[Tuple[int, ...]]) -> "HashIdColumn":
+        n = len(lists)
+        lengths = np.fromiter((len(t) for t in lists), dtype=np.int64, count=n)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = np.fromiter(
+            (h for t in lists for h in t), dtype=np.int64, count=int(offsets[-1])
+        )
+        return cls(values, offsets)
+
+    @classmethod
+    def empty(cls, n_rows: int = 0) -> "HashIdColumn":
+        return cls(np.zeros(0, np.int64), np.zeros(n_rows + 1, np.int64))
+
+    def __len__(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def lengths(self) -> np.ndarray:
+        if self._lengths is None:
+            self._lengths = np.diff(self.offsets)
+        return self._lengths
+
+    def __getitem__(self, index) -> Tuple[int, ...]:
+        if isinstance(index, slice):
+            raise TypeError("HashIdColumn does not support slicing; use take()")
+        index = int(index)
+        if index < 0:
+            index += len(self)
+        row = self.values[self.offsets[index]:self.offsets[index + 1]]
+        return tuple(int(h) for h in row)
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        for i in range(len(self)):
+            yield self[i]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, HashIdColumn):
+            return bool(
+                np.array_equal(self.values, other.values)
+                and np.array_equal(self.offsets, other.offsets)
+            )
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                self[i] == tuple(other[i]) for i in range(len(self))
+            )
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def take(self, idx: np.ndarray) -> "HashIdColumn":
+        """Vectorised row gather (the CSR analogue of fancy indexing)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        lens = self.lengths[idx]
+        offsets = np.zeros(len(idx) + 1, dtype=np.int64)
+        np.cumsum(lens, out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return HashIdColumn(np.zeros(0, np.int64), offsets)
+        starts = self.offsets[idx]
+        flat = np.repeat(starts - offsets[:-1], lens) + np.arange(total)
+        return HashIdColumn(self.values[flat], offsets)
+
+    def remap(self, mapping: np.ndarray) -> "HashIdColumn":
+        """A new column with every value replaced by ``mapping[value]``."""
+        if not len(self.values):
+            return HashIdColumn(self.values, self.offsets)
+        return HashIdColumn(
+            np.take(np.asarray(mapping, dtype=np.int64), self.values),
+            self.offsets,
+        )
+
+
+#: Per-row hash ids accepted by the block-append path: ``None`` (no row has
+#: hashes), one tuple (every row shares it), or a per-row sequence.
+HashIdsArg = Union[None, Tuple[int, ...], Sequence[Tuple[int, ...]]]
+
+_ID_COLUMNS_WITH_SENTINEL = {
+    "script_id": "script",
+    "password_id": "password",
+    "username_id": "username",
+    "version_id": "version",
+}
+
+
+def _remap_ids(remap: Sequence[int], ids: np.ndarray,
+               sentinel: bool) -> np.ndarray:
+    """Vectorised id remap; with ``sentinel`` the value -1 maps to itself."""
+    table = np.asarray(remap, dtype=np.int32)
+    if sentinel:
+        # -1 indexes the appended trailing sentinel (negative fancy index).
+        table = np.concatenate((table, np.array([-1], dtype=np.int32)))
+    if not len(ids):
+        return np.zeros(0, np.int32)
+    return table[np.asarray(ids, dtype=np.int64)]
 
 
 class StoreBuilder:
@@ -35,24 +251,16 @@ class StoreBuilder:
         self.scripts: List[CommandScript] = []
         self._script_ids: dict = {}
 
-        self._start: List[float] = []
-        self._duration: List[float] = []
-        self._honeypot: List[int] = []
-        self._protocol: List[int] = []
-        self._client_ip: List[int] = []
-        self._client_asn: List[int] = []
-        self._client_country: List[int] = []
-        self._n_attempts: List[int] = []
-        self._login_success: List[bool] = []
-        self._script_id: List[int] = []
-        self._password_id: List[int] = []
-        self._username_id: List[int] = []
-        self._close_reason: List[int] = []
-        self._version_id: List[int] = []
-        self._hash_ids: List[Tuple[int, ...]] = []
+        self._cols: Dict[str, _ColumnChunks] = {
+            name: _ColumnChunks(dtype)
+            for name, dtype in STORE_COLUMN_DTYPES.items()
+        }
+        self._hash_values = _ColumnChunks(np.int64)
+        self._hash_lengths = _ColumnChunks(np.int64)
+        self._n_rows = 0
 
     def __len__(self) -> int:
-        return len(self._start)
+        return self._n_rows
 
     # -- interning helpers ---------------------------------------------------
 
@@ -122,24 +330,31 @@ class StoreBuilder:
         close_reason_id: int = 0,
         version_id: int = -1,
     ) -> int:
-        """Fast path for bulk generation: all ids pre-interned."""
-        self._start.append(start_time)
-        self._duration.append(duration)
-        self._honeypot.append(honeypot_id)
-        self._protocol.append(protocol)
-        self._client_ip.append(client_ip)
-        self._client_asn.append(client_asn)
-        self._client_country.append(client_country_id)
-        self._n_attempts.append(n_attempts)
-        self._login_success.append(login_success)
-        self._script_id.append(script_id)
-        self._password_id.append(password_id)
-        self._username_id.append(username_id)
-        self._close_reason.append(close_reason_id)
-        self._version_id.append(version_id)
-        self._hash_ids.append(hash_ids)
+        """Fast path for bulk generation: all ids pre-interned.
+
+        Scalars fill the current per-column chunk directly.
+        """
+        cols = self._cols
+        cols["start_time"].append(start_time)
+        cols["duration"].append(duration)
+        cols["honeypot"].append(honeypot_id)
+        cols["protocol"].append(protocol)
+        cols["client_ip"].append(client_ip)
+        cols["client_asn"].append(client_asn)
+        cols["client_country"].append(client_country_id)
+        cols["n_attempts"].append(n_attempts)
+        cols["login_success"].append(login_success)
+        cols["script_id"].append(script_id)
+        cols["password_id"].append(password_id)
+        cols["username_id"].append(username_id)
+        cols["close_reason"].append(close_reason_id)
+        cols["version_id"].append(version_id)
+        self._hash_lengths.append(len(hash_ids))
+        for h in hash_ids:
+            self._hash_values.append(h)
+        self._n_rows += 1
         _metric_inc("store.sessions_appended")
-        return len(self._start) - 1
+        return self._n_rows - 1
 
     def append_block(
         self,
@@ -155,39 +370,71 @@ class StoreBuilder:
         script_id: Sequence[int],
         password_id: Sequence[int],
         username_id: Sequence[int],
-        hash_ids: Sequence[Tuple[int, ...]],
+        hash_ids: HashIdsArg,
         close_reason_id: Sequence[int],
         version_id: Sequence[int],
     ) -> None:
-        """Bulk append: all sequences must have equal length.
+        """Bulk append: all sequences must share one length.
 
-        This is the generator's hot path — column lists are extended
-        directly instead of paying per-row call overhead.
+        This is the generator's hot path — ndarray inputs are adopted as
+        column chunks after a single vectorised dtype coercion, with zero
+        per-element Python work.  ``hash_ids`` is ``None`` when no row in
+        the block carries hashes, a single tuple shared by every row
+        (campaign blocks), or a per-row sequence of tuples.
         """
         n = len(start_time)
         for seq in (duration, honeypot_id, protocol, client_ip, client_asn,
                     client_country_id, n_attempts, login_success, script_id,
-                    password_id, username_id, hash_ids, close_reason_id,
-                    version_id):
+                    password_id, username_id, close_reason_id, version_id):
             if len(seq) != n:
                 raise ValueError("append_block sequences must share one length")
-        self._start.extend(float(x) for x in start_time)
-        self._duration.extend(float(x) for x in duration)
-        self._honeypot.extend(int(x) for x in honeypot_id)
-        self._protocol.extend(int(x) for x in protocol)
-        self._client_ip.extend(int(x) for x in client_ip)
-        self._client_asn.extend(int(x) for x in client_asn)
-        self._client_country.extend(int(x) for x in client_country_id)
-        self._n_attempts.extend(int(x) for x in n_attempts)
-        self._login_success.extend(bool(x) for x in login_success)
-        self._script_id.extend(int(x) for x in script_id)
-        self._password_id.extend(int(x) for x in password_id)
-        self._username_id.extend(int(x) for x in username_id)
-        self._close_reason.extend(int(x) for x in close_reason_id)
-        self._version_id.extend(int(x) for x in version_id)
-        self._hash_ids.extend(hash_ids)
+        cols = self._cols
+        cols["start_time"].extend(start_time)
+        cols["duration"].extend(duration)
+        cols["honeypot"].extend(honeypot_id)
+        cols["protocol"].extend(protocol)
+        cols["client_ip"].extend(client_ip)
+        cols["client_asn"].extend(client_asn)
+        cols["client_country"].extend(client_country_id)
+        cols["n_attempts"].extend(n_attempts)
+        cols["login_success"].extend(login_success)
+        cols["script_id"].extend(script_id)
+        cols["password_id"].extend(password_id)
+        cols["username_id"].extend(username_id)
+        cols["close_reason"].extend(close_reason_id)
+        cols["version_id"].extend(version_id)
+        self._append_block_hashes(hash_ids, n)
+        self._n_rows += n
         _metric_inc("store.sessions_appended", n)
         _metric_inc("store.blocks_appended")
+
+    def _append_block_hashes(self, hash_ids: HashIdsArg, n: int) -> None:
+        if hash_ids is None:
+            self._hash_lengths.extend(np.zeros(n, np.int64))
+            return
+        if isinstance(hash_ids, tuple):
+            # One tuple shared by every row of the block.
+            k = len(hash_ids)
+            self._hash_lengths.extend(np.full(n, k, np.int64))
+            if k:
+                self._hash_values.extend(
+                    np.tile(np.asarray(hash_ids, np.int64), n)
+                )
+            return
+        if len(hash_ids) != n:
+            raise ValueError("append_block sequences must share one length")
+        if not any(hash_ids):
+            self._hash_lengths.extend(np.zeros(n, np.int64))
+            return
+        lengths = np.fromiter((len(t) for t in hash_ids), np.int64, count=n)
+        self._hash_lengths.extend(lengths)
+        self._hash_values.extend(
+            np.fromiter(
+                (h for t in hash_ids for h in t),
+                np.int64,
+                count=int(lengths.sum()),
+            )
+        )
 
     # -- shard / merge support -------------------------------------------------
 
@@ -211,11 +458,13 @@ class StoreBuilder:
         out._script_ids = dict(self._script_ids)
         return out
 
-    def _table_remaps(self, other: "StoreBuilder"):
+    def _table_remaps(self, other):
         """Id-remap lists from ``other``'s tables into this builder's.
 
-        Shared prefixes (e.g. after :meth:`fork_tables`) remap to
-        themselves; new entries are interned here, in ``other``'s order.
+        ``other`` is a builder or a frozen store (both expose the same
+        table attributes).  Shared prefixes (e.g. after
+        :meth:`fork_tables`) remap to themselves; new entries are interned
+        here, in ``other``'s order.
         """
         return {
             "honeypot": [self.honeypots.intern(v) for v in other.honeypots.values()],
@@ -227,73 +476,82 @@ class StoreBuilder:
             "script": [self.intern_script(s.commands, s.uris) for s in other.scripts],
         }
 
+    def _column_arrays(self) -> Dict[str, np.ndarray]:
+        """The accumulated fixed-dtype columns, concatenated."""
+        return {name: col.concatenate() for name, col in self._cols.items()}
+
+    def _hash_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(values, lengths) of the accumulated CSR hash column."""
+        return self._hash_values.concatenate(), self._hash_lengths.concatenate()
+
+    def _adopt_arrays(
+        self,
+        remap: Dict[str, List[int]],
+        columns: Dict[str, np.ndarray],
+        hash_values: np.ndarray,
+        hash_lengths: np.ndarray,
+    ) -> None:
+        """Append whole remapped columns (the vectorised adopt core)."""
+        n = len(columns["start_time"])
+        cols = self._cols
+        for name in STORE_COLUMN_DTYPES:
+            if name == "honeypot":
+                cols[name].extend(_remap_ids(remap["honeypot"],
+                                             columns[name], sentinel=False))
+            elif name == "client_country":
+                cols[name].extend(_remap_ids(remap["country"],
+                                             columns[name], sentinel=False))
+            elif name in _ID_COLUMNS_WITH_SENTINEL:
+                key = _ID_COLUMNS_WITH_SENTINEL[name]
+                cols[name].extend(_remap_ids(remap[key], columns[name],
+                                             sentinel=True))
+            else:
+                cols[name].extend(columns[name])
+        self._hash_lengths.extend(hash_lengths)
+        if len(hash_values):
+            self._hash_values.extend(
+                np.take(np.asarray(remap["hash"], np.int64), hash_values)
+            )
+        self._n_rows += n
+        metrics = get_metrics()
+        metrics.inc("store.adopts")
+        metrics.inc("store.sessions_adopted", n)
+
     def adopt(self, other: "StoreBuilder") -> None:
         """Append all of ``other``'s rows, remapping its interned ids.
 
         ``other`` may share a table prefix with this builder (the
         fork/adopt shard path, where the remap is mostly the identity) or
         be entirely unrelated (merging independently collected stores).
+        Remaps are vectorised ``np.take`` gathers over whole columns.
         """
         t0 = time.perf_counter()
         remap = self._table_remaps(other)
-        hp, co = remap["honeypot"], remap["country"]
-        pw, un, ve, sc = (remap["password"], remap["username"],
-                          remap["version"], remap["script"])
-        ha = remap["hash"]
-        self._start.extend(other._start)
-        self._duration.extend(other._duration)
-        self._honeypot.extend(hp[i] for i in other._honeypot)
-        self._protocol.extend(other._protocol)
-        self._client_ip.extend(other._client_ip)
-        self._client_asn.extend(other._client_asn)
-        self._client_country.extend(co[i] for i in other._client_country)
-        self._n_attempts.extend(other._n_attempts)
-        self._login_success.extend(other._login_success)
-        self._script_id.extend(sc[i] if i >= 0 else -1 for i in other._script_id)
-        self._password_id.extend(pw[i] if i >= 0 else -1 for i in other._password_id)
-        self._username_id.extend(un[i] if i >= 0 else -1 for i in other._username_id)
-        self._close_reason.extend(other._close_reason)
-        self._version_id.extend(ve[i] if i >= 0 else -1 for i in other._version_id)
-        self._hash_ids.extend(
-            tuple(ha[h] for h in ids) for ids in other._hash_ids
-        )
-        metrics = get_metrics()
-        metrics.inc("store.adopts")
-        metrics.inc("store.sessions_adopted", len(other._start))
-        metrics.observe("store.adopt_seconds", time.perf_counter() - t0)
+        values, lengths = other._hash_arrays()
+        self._adopt_arrays(remap, other._column_arrays(), values, lengths)
+        get_metrics().observe("store.adopt_seconds", time.perf_counter() - t0)
 
     def adopt_store(self, store: "SessionStore") -> None:
         """Append a frozen store's rows, remapping its interned ids."""
-        other = StoreBuilder()
-        other.honeypots = store.honeypots
-        other.countries = store.countries
-        other.passwords = store.passwords
-        other.usernames = store.usernames
-        other.hashes = store.hashes
-        other.versions = store.versions
-        other.scripts = list(store.scripts)
-        other._start = store.start_time.tolist()
-        other._duration = store.duration.tolist()
-        other._honeypot = store.honeypot.tolist()
-        other._protocol = store.protocol.tolist()
-        other._client_ip = store.client_ip.tolist()
-        other._client_asn = store.client_asn.tolist()
-        other._client_country = store.client_country.tolist()
-        other._n_attempts = store.n_attempts.tolist()
-        other._login_success = store.login_success.tolist()
-        other._script_id = store.script_id.tolist()
-        other._password_id = store.password_id.tolist()
-        other._username_id = store.username_id.tolist()
-        other._close_reason = store.close_reason.tolist()
-        other._version_id = store.version_id.tolist()
-        other._hash_ids = list(store.hash_ids)
-        self.adopt(other)
+        t0 = time.perf_counter()
+        remap = self._table_remaps(store)
+        columns = {name: getattr(store, name) for name in STORE_COLUMN_DTYPES}
+        self._adopt_arrays(
+            remap, columns, store.hash_ids.values, store.hash_ids.lengths
+        )
+        get_metrics().observe("store.adopt_seconds", time.perf_counter() - t0)
 
     def build(self) -> "SessionStore":
-        """Freeze the accumulated rows into an immutable columnar store."""
-        n_commands = np.zeros(len(self._start), dtype=np.uint16)
-        has_uri = np.zeros(len(self._start), dtype=bool)
-        script_id = np.asarray(self._script_id, dtype=np.int32) if self._start else np.zeros(0, np.int32)
+        """Freeze the accumulated rows into an immutable columnar store.
+
+        One concatenate per column; the script-derived ``n_commands`` /
+        ``has_uri`` columns are gathered from the interned script table.
+        """
+        t0 = time.perf_counter()
+        columns = self._column_arrays()
+        script_id = columns["script_id"]
+        n_commands = np.zeros(self._n_rows, dtype=np.uint16)
+        has_uri = np.zeros(self._n_rows, dtype=bool)
         if len(self.scripts):
             script_lengths = np.array(
                 [min(len(s.commands), 65535) for s in self.scripts], dtype=np.uint16
@@ -302,24 +560,13 @@ class StoreBuilder:
             mask = script_id >= 0
             n_commands[mask] = script_lengths[script_id[mask]]
             has_uri[mask] = script_has_uri[script_id[mask]]
-        return SessionStore(
-            start_time=np.asarray(self._start, dtype=np.float64),
-            duration=np.asarray(self._duration, dtype=np.float32),
-            honeypot=np.asarray(self._honeypot, dtype=np.int32),
-            protocol=np.asarray(self._protocol, dtype=np.uint8),
-            client_ip=np.asarray(self._client_ip, dtype=np.uint32),
-            client_asn=np.asarray(self._client_asn, dtype=np.int32),
-            client_country=np.asarray(self._client_country, dtype=np.int32),
-            n_attempts=np.asarray(self._n_attempts, dtype=np.uint16),
-            login_success=np.asarray(self._login_success, dtype=bool),
-            script_id=script_id,
+        values, lengths = self._hash_arrays()
+        offsets = np.zeros(self._n_rows + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        store = SessionStore(
             n_commands=n_commands,
             has_uri=has_uri,
-            password_id=np.asarray(self._password_id, dtype=np.int32),
-            username_id=np.asarray(self._username_id, dtype=np.int32),
-            close_reason=np.asarray(self._close_reason, dtype=np.uint8),
-            version_id=np.asarray(self._version_id, dtype=np.int32),
-            hash_ids=self._hash_ids,
+            hash_ids=HashIdColumn(values, offsets),
             honeypots=self.honeypots,
             countries=self.countries,
             passwords=self.passwords,
@@ -327,16 +574,22 @@ class StoreBuilder:
             hashes=self.hashes,
             versions=self.versions,
             scripts=list(self.scripts),
+            **columns,
         )
+        metrics = get_metrics()
+        metrics.inc("store.freezes")
+        metrics.observe("store.freeze_seconds", time.perf_counter() - t0)
+        return store
 
 
 class SessionStore:
     """Immutable columnar store of session records.
 
     All column attributes are numpy arrays of identical length; side tables
-    resolve interned ids back to strings / scripts.  Row-shaped access is
-    available through :meth:`record` and iteration, but analyses should use
-    the columns.
+    resolve interned ids back to strings / scripts.  The per-session hash
+    lists are a CSR :class:`HashIdColumn` (``hash_ids``) — row indexing
+    still yields tuples.  Row-shaped access is available through
+    :meth:`record` and iteration, but analyses should use the columns.
     """
 
     def __init__(
@@ -357,7 +610,7 @@ class SessionStore:
         username_id: np.ndarray,
         close_reason: np.ndarray,
         version_id: np.ndarray,
-        hash_ids: List[Tuple[int, ...]],
+        hash_ids: Union[HashIdColumn, Sequence[Tuple[int, ...]]],
         honeypots: StringTable,
         countries: StringTable,
         passwords: StringTable,
@@ -382,6 +635,8 @@ class SessionStore:
         self.username_id = username_id
         self.close_reason = close_reason
         self.version_id = version_id
+        if not isinstance(hash_ids, HashIdColumn):
+            hash_ids = HashIdColumn.from_lists(hash_ids)
         self.hash_ids = hash_ids
         self.honeypots = honeypots
         self.countries = countries
@@ -497,7 +752,7 @@ class SessionStore:
             username_id=self.username_id[idx],
             close_reason=self.close_reason[idx],
             version_id=self.version_id[idx],
-            hash_ids=[self.hash_ids[int(i)] for i in idx],
+            hash_ids=self.hash_ids.take(idx),
             honeypots=self.honeypots,
             countries=self.countries,
             passwords=self.passwords,

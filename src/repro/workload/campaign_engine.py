@@ -89,6 +89,9 @@ class CampaignEngine:
         self.n_pots = len(pot_countries)
         self._group_subsets: Dict[str, np.ndarray] = {}
         self._shared_pools: Dict[str, np.ndarray] = {}
+        self._locality_cache: Dict[
+            str, Tuple[Dict[object, np.ndarray], Dict[str, np.ndarray]]
+        ] = {}
 
     # -- realisation ------------------------------------------------------------
 
@@ -342,10 +345,10 @@ class CampaignEngine:
             client_country=pop.country[clients].astype(np.int32),
             n_attempts=attempts,
             login_success=np.ones(m, dtype=bool),
-            script_id=[campaign.script_id] * m,
+            script_id=np.full(m, campaign.script_id, dtype=np.int32),
             password_id=password,
             username_id=username,
-            hash_ids=[campaign.hash_ids] * m,
+            hash_ids=campaign.hash_ids,
             close_reason=close,
             version_id=versions,
         )
@@ -354,6 +357,36 @@ class CampaignEngine:
         _metric_inc("generator.campaign_sessions", m)
         return m
 
+    def _locality_subsets(
+        self, campaign: RealizedCampaign
+    ) -> Tuple[Dict[object, np.ndarray], Dict[str, np.ndarray]]:
+        """Campaign pot subset grouped by continent and country (cached).
+
+        The grouping is a pure function of the campaign's fixed pot subset,
+        so computing it once per campaign instead of once per emitted day
+        consumes no extra randomness.
+        """
+        cached = self._locality_cache.get(campaign.spec.campaign_id)
+        if cached is not None:
+            return cached
+        by_continent: Dict[object, np.ndarray] = {}
+        for continent in set(self.pot_continents):
+            by_continent[continent] = np.array(
+                [p for p in campaign.pot_subset
+                 if self.pot_continents[p] is continent],
+                dtype=np.int32,
+            )
+        by_country: Dict[str, np.ndarray] = {}
+        for country in set(self.pot_countries):
+            by_country[country] = np.array(
+                [p for p in campaign.pot_subset
+                 if self.pot_countries[p] == country],
+                dtype=np.int32,
+            )
+        cached = (by_continent, by_country)
+        self._locality_cache[campaign.spec.campaign_id] = cached
+        return cached
+
     def _choose_pots(
         self,
         rng: RngStream,
@@ -361,7 +394,7 @@ class CampaignEngine:
         clients: np.ndarray,
         m: int,
         locality_bias: bool,
-    ) -> List[int]:
+    ) -> np.ndarray:
         """Per-session pot selection, with a locality bias for URI kinds.
 
         CMD+URI sessions originate markedly closer to their targets in the
@@ -370,27 +403,14 @@ class CampaignEngine:
         has one.
         """
         u = rng.random_array(m)
-        pots = [campaign.selector.choose(float(x)) for x in u]
+        pots = campaign.selector.choose_many(u).astype(np.int32, copy=True)
         bias = self.config.uri_locality_bias
         if not locality_bias or bias <= 0:
             return pots
         redirect = rng.random_array(m)
         if not (redirect < bias).any():
             return pots
-        subset_by_continent: Dict[object, np.ndarray] = {}
-        for continent in set(self.pot_continents):
-            members = np.array(
-                [p for p in campaign.pot_subset if self.pot_continents[p] is continent],
-                dtype=np.int32,
-            )
-            subset_by_continent[continent] = members
-        subset_by_country: Dict[str, np.ndarray] = {}
-        for country in set(self.pot_countries):
-            subset_by_country[country] = np.array(
-                [p for p in campaign.pot_subset
-                 if self.pot_countries[p] == country],
-                dtype=np.int32,
-            )
+        subset_by_continent, subset_by_country = self._locality_subsets(campaign)
         codes = self.population.country_codes
         for i in range(m):
             if redirect[i] >= bias:

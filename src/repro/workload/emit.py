@@ -6,7 +6,7 @@ tables so the per-day emission loops only shuffle integer ids around.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 
@@ -17,7 +17,7 @@ from repro.agents.credentials import (
 )
 from repro.honeypot.protocol import COMMON_CLIENT_VERSIONS
 from repro.simulation.rng import RngStream
-from repro.store.store import StoreBuilder
+from repro.store.store import HashIdsArg, StoreBuilder
 
 
 class SessionEmitter:
@@ -105,24 +105,26 @@ class SessionEmitter:
         script_id: Sequence[int],
         password_id: np.ndarray,
         username_id: np.ndarray,
-        hash_ids: List[Tuple[int, ...]],
+        hash_ids: HashIdsArg,
         close_reason: np.ndarray,
         version_id: np.ndarray,
     ) -> None:
+        # Pure pass-through: the builder adopts ndarrays as column chunks,
+        # so no `.tolist()` round-trip and no per-element re-coercion.
         self.builder.append_block(
-            start_time=start_time.tolist(),
-            duration=duration.tolist(),
-            honeypot_id=list(honeypot),
-            protocol=protocol.tolist(),
-            client_ip=client_ip.tolist(),
-            client_asn=client_asn.tolist(),
-            client_country_id=client_country.tolist(),
-            n_attempts=n_attempts.tolist(),
-            login_success=login_success.tolist(),
-            script_id=list(script_id),
-            password_id=password_id.tolist(),
-            username_id=username_id.tolist(),
+            start_time=start_time,
+            duration=duration,
+            honeypot_id=honeypot,
+            protocol=protocol,
+            client_ip=client_ip,
+            client_asn=client_asn,
+            client_country_id=client_country,
+            n_attempts=n_attempts,
+            login_success=login_success,
+            script_id=script_id,
+            password_id=password_id,
+            username_id=username_id,
             hash_ids=hash_ids,
-            close_reason_id=close_reason.tolist(),
-            version_id=version_id.tolist(),
+            close_reason_id=close_reason,
+            version_id=version_id,
         )

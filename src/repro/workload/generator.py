@@ -232,12 +232,22 @@ class TraceGenerator:
         nz = np.nonzero(counts)[0]
         return np.repeat(clients[nz], counts[nz])
 
-    def _pots_for(self, rng: RngStream, session_clients: np.ndarray) -> List[int]:
-        u = rng.random_array(len(session_clients))
+    def _pots_for(self, rng: RngStream, session_clients: np.ndarray) -> np.ndarray:
+        m = len(session_clients)
+        u = rng.random_array(m)
+        if m == 0:
+            return np.zeros(0, dtype=np.int32)
+        # ``_expand_day`` emits contiguous runs per client (np.repeat), so
+        # one vectorised searchsorted per run covers the whole day; the
+        # draws are the exact same uniforms the scalar path consumed.
+        out = np.empty(m, dtype=np.int32)
         targets = self.targets
-        return [
-            targets[int(c)].choose(float(x)) for c, x in zip(session_clients, u)
-        ]
+        boundaries = np.flatnonzero(np.diff(session_clients)) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [m]))
+        for s, e in zip(starts, ends):
+            out[s:e] = targets[int(session_clients[s])].choose_many(u[s:e])
+        return out
 
     def _start_times(self, rng: RngStream, day: int, n: int) -> np.ndarray:
         return day * SECONDS_PER_DAY + rng.uniform_array(0, SECONDS_PER_DAY, n)
@@ -274,10 +284,10 @@ class TraceGenerator:
             client_country=pop.country[idx].astype(np.int32),
             n_attempts=np.zeros(m, dtype=np.uint16),
             login_success=np.zeros(m, dtype=bool),
-            script_id=[-1] * m,
+            script_id=neg,
             password_id=neg,
             username_id=neg,
-            hash_ids=[()] * m,
+            hash_ids=None,
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
@@ -356,10 +366,10 @@ class TraceGenerator:
             client_country=pop.country[idx].astype(np.int32),
             n_attempts=attempts,
             login_success=np.zeros(m, dtype=bool),
-            script_id=[-1] * m,
+            script_id=np.full(m, -1, dtype=np.int32),
             password_id=passwords,
             username_id=users,
-            hash_ids=[()] * m,
+            hash_ids=None,
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
@@ -389,17 +399,17 @@ class TraceGenerator:
         self.emitter.append_block(
             start_time=self._start_times(rng, day, m),
             duration=duration,
-            honeypot=spike_pots[np.asarray(pot_pick)].tolist(),
+            honeypot=spike_pots[np.asarray(pot_pick)],
             protocol=protocol,
             client_ip=pop.ip[idx],
             client_asn=pop.asn[idx],
             client_country=pop.country[idx].astype(np.int32),
             n_attempts=attempts,
             login_success=np.zeros(m, dtype=bool),
-            script_id=[-1] * m,
+            script_id=np.full(m, -1, dtype=np.int32),
             password_id=passwords,
             username_id=users,
-            hash_ids=[()] * m,
+            hash_ids=None,
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
@@ -449,17 +459,17 @@ class TraceGenerator:
             self.emitter.append_block(
                 start_time=self._start_times(rng, day, m),
                 duration=duration,
-                honeypot=ru_pots[np.asarray(pot_pick)].tolist(),
+                honeypot=ru_pots[np.asarray(pot_pick)],
                 protocol=protocol,
                 client_ip=ips,
                 client_asn=np.full(m, ru.asn, dtype=np.int32),
                 client_country=np.full(m, ru.country_index, dtype=np.int32),
                 n_attempts=attempts,
                 login_success=np.ones(m, dtype=bool),
-                script_id=[-1] * m,
+                script_id=np.full(m, -1, dtype=np.int32),
                 password_id=self.emitter.success_passwords(rng, m),
                 username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-                hash_ids=[()] * m,
+                hash_ids=None,
                 close_reason=close,
                 version_id=self.emitter.client_versions(rng, m, protocol),
             )
@@ -483,10 +493,10 @@ class TraceGenerator:
                 client_country=pop.country[idx].astype(np.int32),
                 n_attempts=attempts,
                 login_success=np.ones(m, dtype=bool),
-                script_id=[-1] * m,
+                script_id=np.full(m, -1, dtype=np.int32),
                 password_id=self.emitter.success_passwords(rng, m),
                 username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-                hash_ids=[()] * m,
+                hash_ids=None,
                 close_reason=close,
                 version_id=self.emitter.client_versions(rng, m, protocol),
             )
@@ -715,10 +725,10 @@ class TraceGenerator:
             client_country=pop.country[idx].astype(np.int32),
             n_attempts=attempts,
             login_success=np.ones(m, dtype=bool),
-            script_id=script_ids[prof_idx].tolist(),
+            script_id=script_ids[prof_idx],
             password_id=self.emitter.success_passwords(rng, m),
             username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
-            hash_ids=[()] * m,
+            hash_ids=None,
             close_reason=close,
             version_id=self.emitter.client_versions(rng, m, protocol),
         )
@@ -803,7 +813,7 @@ class TraceGenerator:
             client_country=pop.country[idx].astype(np.int32),
             n_attempts=attempts,
             login_success=np.ones(m, dtype=bool),
-            script_id=script_ids[prof_idx].tolist(),
+            script_id=script_ids[prof_idx],
             password_id=self.emitter.success_passwords(rng, m),
             username_id=np.full(m, self.emitter.root_id, dtype=np.int32),
             hash_ids=[hash_tuples[int(i)] for i in prof_idx],
@@ -813,7 +823,7 @@ class TraceGenerator:
         _metric_inc("generator.sessions.CMD_URI", m)
         _metric_inc("generator.days.CMD_URI")
 
-    def _local_biased_pots(self, rng: RngStream, idx: np.ndarray) -> List[int]:
+    def _local_biased_pots(self, rng: RngStream, idx: np.ndarray) -> np.ndarray:
         """Target choice with the CMD+URI locality bias (Fig 16b).
 
         URI attackers pick closer targets: a share of their sessions is
@@ -892,6 +902,7 @@ class TraceGenerator:
 def generate_dataset(
     config: Optional[ScenarioConfig] = None,
     workers: Optional[int] = None,
+    cache=None,
 ) -> HoneyfarmDataset:
     """Generate one synthetic honeyfarm trace (the library's main entry).
 
@@ -901,9 +912,31 @@ def generate_dataset(
     stream, so the result is identical for every worker count — including
     ``workers=1`` — but is a distinct (equally valid) trace from the
     single-pass path, whose draw order predates sharding.
-    """
-    if workers is None:
-        return TraceGenerator(config or ScenarioConfig()).run()
-    from repro.workload.shards import generate_sharded
 
-    return generate_sharded(config, workers=workers)
+    ``cache`` (a directory path or :class:`~repro.workload.cache.DatasetCache`)
+    memoises the result on disk, keyed by a fingerprint of the config,
+    pipeline family and store format.  A hit skips generation entirely;
+    a miss generates, stores the bundle, and returns it.
+    """
+    config = config or ScenarioConfig()
+
+    cache_obj = None
+    if cache is not None:
+        from repro.workload.cache import as_cache, dataset_fingerprint
+
+        cache_obj = as_cache(cache)
+        fingerprint = dataset_fingerprint(config, workers=workers)
+        cached = cache_obj.load(fingerprint)
+        if cached is not None:
+            return cached
+
+    if workers is None:
+        dataset = TraceGenerator(config).run()
+    else:
+        from repro.workload.shards import generate_sharded
+
+        dataset = generate_sharded(config, workers=workers)
+
+    if cache_obj is not None:
+        cache_obj.store(fingerprint, dataset)
+    return dataset

@@ -30,6 +30,14 @@ class TargetSet:
         """Pick a pot index for one session given uniform draw ``u``."""
         return int(self.pots[bisect.bisect_left(self.cumulative, u)])
 
+    def choose_many(self, u: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`choose` for a batch of uniform draws.
+
+        ``searchsorted(side="left")`` is exactly ``bisect_left``, so this
+        returns the same pots the scalar path would, draw for draw.
+        """
+        return self.pots[np.searchsorted(self.cumulative, u, side="left")]
+
 
 class TargetIndex:
     """Builds and caches target sets for the whole population."""

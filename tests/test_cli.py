@@ -48,3 +48,58 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+    def test_report_cache_dir_hit(self, tmp_path, capsys):
+        from repro.obs import get_metrics
+
+        args = ["report", "--scale", "80000", "--seed", "3",
+                "--hash-scale", "0.005", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        snapshot = get_metrics().to_dict()
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        delta = get_metrics().delta_since(snapshot)
+        assert delta["counters"].get("cache.hits") == 1
+
+    def test_report_cache_env_var(self, tmp_path, monkeypatch, capsys):
+        from repro.obs import get_metrics
+
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+        args = ["report", "--scale", "80000", "--seed", "4",
+                "--hash-scale", "0.005"]
+        assert main(args) == 0
+        snapshot = get_metrics().to_dict()
+        assert main(args) == 0
+        capsys.readouterr()
+        assert get_metrics().delta_since(snapshot)["counters"].get(
+            "cache.hits") == 1
+
+    def test_report_load_npz(self, tmp_path, capsys):
+        trace = tmp_path / "trace.npz"
+        assert main(["generate", "--scale", "80000", "--seed", "3",
+                     "--hash-scale", "0.005", "--out", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["report", "--scale", "80000", "--seed", "3",
+                     "--load", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "SSH share" in out
+
+    def test_tables_load_dataset_dir(self, tmp_path, capsys):
+        from repro.workload import ScenarioConfig, generate_dataset
+        from repro.workload.io import save_dataset
+
+        dataset = generate_dataset(
+            ScenarioConfig(scale=1 / 80000, seed=3, hash_scale=0.005))
+        save_dataset(dataset, tmp_path / "bundle")
+        assert main(["tables", "--scale", "80000", "--seed", "3",
+                     "--load", str(tmp_path / "bundle")]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_load_rejects_unknown_format(self, tmp_path):
+        bogus = tmp_path / "trace.csv"
+        bogus.write_text("nope")
+        with pytest.raises(SystemExit):
+            main(["report", "--scale", "80000", "--load", str(bogus)])

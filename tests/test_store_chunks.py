@@ -1,0 +1,274 @@
+"""Chunked-builder equivalence and CSR hash-column properties.
+
+The chunked :class:`StoreBuilder` must be a pure refactor of the old
+row-wise builder: whatever mix of scalar appends and block appends
+produces the rows, the frozen store — and its saved .npz bytes — depend
+only on the row contents and order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.store.store as store_module
+from repro.store.npz import save_npz
+from repro.store.store import HashIdColumn, StoreBuilder
+
+
+def _rows(n: int, seed: int = 5):
+    """Deterministic synthetic row data covering every column."""
+    rng = np.random.default_rng(seed)
+    hash_ids = []
+    for i in range(n):
+        k = int(rng.integers(0, 4))
+        hash_ids.append(tuple(int(h) for h in rng.integers(0, 50, size=k)))
+    return dict(
+        start_time=rng.random(n) * 1e6,
+        duration=rng.random(n).astype(np.float32) * 300,
+        honeypot_id=rng.integers(0, 221, n),
+        protocol=rng.integers(0, 2, n),
+        client_ip=rng.integers(0, 2**32, n, dtype=np.uint32),
+        client_asn=rng.integers(0, 65_000, n),
+        client_country_id=rng.integers(0, 55, n),
+        n_attempts=rng.integers(0, 11, n),
+        login_success=rng.random(n) < 0.5,
+        script_id=rng.integers(-1, 3, n),
+        password_id=rng.integers(-1, 40, n),
+        username_id=rng.integers(-1, 20, n),
+        hash_ids=hash_ids,
+        close_reason_id=rng.integers(0, 5, n),
+        version_id=rng.integers(-1, 6, n),
+    )
+
+
+def _new_builder() -> StoreBuilder:
+    """A builder with every id in :func:`_rows` backed by a table entry
+    (the invariant real callers maintain; adopt/merge remaps rely on it)."""
+    builder = StoreBuilder()
+    builder.intern_script(["uname -a", "free"], [])
+    builder.intern_script(["wget http://x/a"], ["http://x/a"])
+    builder.intern_script(["echo hi > f"], [])
+    for i in range(221):
+        builder.honeypots.intern(f"hp-{i:03d}")
+    for i in range(55):
+        builder.countries.intern(f"C{i:02d}")
+    for i in range(40):
+        builder.passwords.intern(f"pw{i}")
+    for i in range(20):
+        builder.usernames.intern(f"user{i}")
+    for i in range(50):
+        builder.hashes.intern(f"{i:064x}")
+    for i in range(6):
+        builder.versions.intern(f"SSH-2.0-v{i}")
+    return builder
+
+
+def _append_scalar(builder: StoreBuilder, rows: dict, lo: int, hi: int) -> None:
+    for i in range(lo, hi):
+        builder.append_interned(
+            start_time=float(rows["start_time"][i]),
+            duration=float(rows["duration"][i]),
+            honeypot_id=int(rows["honeypot_id"][i]),
+            protocol=int(rows["protocol"][i]),
+            client_ip=int(rows["client_ip"][i]),
+            client_asn=int(rows["client_asn"][i]),
+            client_country_id=int(rows["client_country_id"][i]),
+            n_attempts=int(rows["n_attempts"][i]),
+            login_success=bool(rows["login_success"][i]),
+            script_id=int(rows["script_id"][i]),
+            password_id=int(rows["password_id"][i]),
+            username_id=int(rows["username_id"][i]),
+            hash_ids=rows["hash_ids"][i],
+            close_reason_id=int(rows["close_reason_id"][i]),
+            version_id=int(rows["version_id"][i]),
+        )
+
+
+def _append_block(builder: StoreBuilder, rows: dict, lo: int, hi: int) -> None:
+    builder.append_block(
+        start_time=rows["start_time"][lo:hi],
+        duration=rows["duration"][lo:hi],
+        honeypot_id=rows["honeypot_id"][lo:hi],
+        protocol=rows["protocol"][lo:hi],
+        client_ip=rows["client_ip"][lo:hi],
+        client_asn=rows["client_asn"][lo:hi],
+        client_country_id=rows["client_country_id"][lo:hi],
+        n_attempts=rows["n_attempts"][lo:hi],
+        login_success=rows["login_success"][lo:hi],
+        script_id=rows["script_id"][lo:hi],
+        password_id=rows["password_id"][lo:hi],
+        username_id=rows["username_id"][lo:hi],
+        hash_ids=rows["hash_ids"][lo:hi],
+        close_reason_id=rows["close_reason_id"][lo:hi],
+        version_id=rows["version_id"][lo:hi],
+    )
+
+
+def _npz_bytes(store, tmp_path, name: str) -> bytes:
+    path = tmp_path / name
+    save_npz(store, path)
+    return path.read_bytes()
+
+
+class TestAppendPathEquivalence:
+    N = 500
+
+    def test_block_matches_scalar_byte_identical(self, tmp_path):
+        rows = _rows(self.N)
+        scalar = _new_builder()
+        _append_scalar(scalar, rows, 0, self.N)
+        block = _new_builder()
+        for lo in range(0, self.N, 97):  # uneven block sizes
+            _append_block(block, rows, lo, min(lo + 97, self.N))
+        a = _npz_bytes(scalar.build(), tmp_path, "scalar.npz")
+        b = _npz_bytes(block.build(), tmp_path, "block.npz")
+        assert a == b
+
+    def test_interleaved_paths_byte_identical(self, tmp_path):
+        rows = _rows(self.N, seed=11)
+        reference = _new_builder()
+        _append_scalar(reference, rows, 0, self.N)
+        mixed = _new_builder()
+        cuts = [0, 3, 120, 121, 250, 333, self.N]
+        for j, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+            if j % 2:
+                _append_scalar(mixed, rows, lo, hi)
+            else:
+                _append_block(mixed, rows, lo, hi)
+        a = _npz_bytes(reference.build(), tmp_path, "ref.npz")
+        b = _npz_bytes(mixed.build(), tmp_path, "mixed.npz")
+        assert a == b
+
+    def test_tiny_chunks_cross_boundaries(self, tmp_path, monkeypatch):
+        """Shrunken chunk constants force every seal/adopt/spill branch."""
+        rows = _rows(120, seed=23)
+        reference = _new_builder()
+        _append_scalar(reference, rows, 0, 120)
+        expected = _npz_bytes(reference.build(), tmp_path, "full.npz")
+
+        monkeypatch.setattr(store_module, "CHUNK_ROWS", 7)
+        monkeypatch.setattr(store_module, "ADOPT_ROWS", 4)
+        tiny = _new_builder()
+        cuts = [0, 1, 8, 15, 15, 40, 47, 120]
+        for j, (lo, hi) in enumerate(zip(cuts, cuts[1:])):
+            if j % 2:
+                _append_scalar(tiny, rows, lo, hi)
+            else:
+                _append_block(tiny, rows, lo, hi)
+        assert _npz_bytes(tiny.build(), tmp_path, "tiny.npz") == expected
+
+    def test_adopted_builder_byte_identical(self, tmp_path):
+        """adopt() of a forked shard equals appending the rows directly."""
+        rows = _rows(self.N, seed=31)
+        reference = _new_builder()
+        _append_scalar(reference, rows, 0, self.N)
+
+        trunk = _new_builder()
+        _append_block(trunk, rows, 0, 200)
+        shard = trunk.fork_tables()
+        _append_block(shard, rows, 200, self.N)
+        trunk.adopt(shard)
+
+        a = _npz_bytes(reference.build(), tmp_path, "ref.npz")
+        b = _npz_bytes(trunk.build(), tmp_path, "adopted.npz")
+        assert a == b
+
+    def test_shared_tuple_block(self):
+        rows = _rows(64, seed=41)
+        shared = (3, 1, 4)
+        builder = _new_builder()
+        builder.append_block(
+            start_time=rows["start_time"],
+            duration=rows["duration"],
+            honeypot_id=rows["honeypot_id"],
+            protocol=rows["protocol"],
+            client_ip=rows["client_ip"],
+            client_asn=rows["client_asn"],
+            client_country_id=rows["client_country_id"],
+            n_attempts=rows["n_attempts"],
+            login_success=rows["login_success"],
+            script_id=rows["script_id"],
+            password_id=rows["password_id"],
+            username_id=rows["username_id"],
+            hash_ids=shared,
+            close_reason_id=rows["close_reason_id"],
+            version_id=rows["version_id"],
+        )
+        store = builder.build()
+        assert all(store.hash_ids[i] == shared for i in range(64))
+
+    def test_length_mismatch_rejected(self):
+        rows = _rows(8)
+        builder = _new_builder()
+        with pytest.raises(ValueError):
+            builder.append_block(
+                start_time=rows["start_time"],
+                duration=rows["duration"][:4],
+                honeypot_id=rows["honeypot_id"],
+                protocol=rows["protocol"],
+                client_ip=rows["client_ip"],
+                client_asn=rows["client_asn"],
+                client_country_id=rows["client_country_id"],
+                n_attempts=rows["n_attempts"],
+                login_success=rows["login_success"],
+                script_id=rows["script_id"],
+                password_id=rows["password_id"],
+                username_id=rows["username_id"],
+                hash_ids=None,
+                close_reason_id=rows["close_reason_id"],
+                version_id=rows["version_id"],
+            )
+
+
+hash_lists = st.lists(
+    st.lists(
+        st.integers(min_value=0, max_value=1_000), min_size=0, max_size=6
+    ).map(tuple),
+    min_size=0,
+    max_size=40,
+)
+
+
+class TestHashIdColumnProperties:
+    @given(lists=hash_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_matches_lists(self, lists):
+        col = HashIdColumn.from_lists(lists)
+        assert len(col) == len(lists)
+        assert list(col) == lists
+        assert [col[i] for i in range(len(col))] == lists
+        assert col == lists
+
+    @given(lists=hash_lists, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_take_matches_python_indexing(self, lists, data):
+        col = HashIdColumn.from_lists(lists)
+        idx = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=max(len(lists) - 1, 0)),
+                max_size=30,
+            )
+            if lists
+            else st.just([])
+        )
+        taken = col.take(np.asarray(idx, dtype=np.int64))
+        assert list(taken) == [lists[i] for i in idx]
+
+    @given(lists=hash_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_remap_matches_python_map(self, lists):
+        col = HashIdColumn.from_lists(lists)
+        mapping = np.arange(1_001, dtype=np.int64)[::-1]
+        remapped = col.remap(mapping)
+        assert list(remapped) == [
+            tuple(int(mapping[h]) for h in t) for t in lists
+        ]
+
+    def test_negative_indexing_and_offsets(self):
+        col = HashIdColumn.from_lists([(1,), (), (2, 3)])
+        assert col[-1] == (2, 3)
+        assert col.offsets.tolist() == [0, 1, 1, 3]
+        assert col.lengths.tolist() == [1, 0, 2]
