@@ -50,13 +50,33 @@ def _bench_stage_metrics(request):
 
 
 def pytest_sessionfinish(session, exitstatus):
-    """Dump the whole run's registry when ``REPRO_METRICS`` names a path."""
+    """Dump the registry (``REPRO_METRICS``) and/or append the benchmark
+    trajectory (``REPRO_BENCH_TRAJECTORY``) after a benchmark run."""
     target = os.environ.get("REPRO_METRICS")
-    if not target or target in ("-", "1", "stderr"):
-        return
-    from repro.obs import dump_json, get_metrics
+    if target and target not in ("-", "1", "stderr"):
+        from repro.obs import dump_json, get_metrics
 
-    dump_json(get_metrics(), target)
+        dump_json(get_metrics(), target)
+
+    trajectory = os.environ.get("REPRO_BENCH_TRAJECTORY")
+    if trajectory:
+        from repro.obs import get_metrics
+        from repro.obs.trajectory import append_record
+
+        record = append_record(
+            trajectory,
+            get_metrics().to_dict(),
+            context={
+                "source": "benchmarks",
+                "scale": os.environ.get("REPRO_BENCH_SCALE",
+                                        str(DEFAULT_DENOMINATOR)),
+                "workers": os.environ.get("REPRO_WORKERS", "1"),
+            },
+        )
+        sps = record["sessions_per_second"]
+        shown = f"{sps:,.0f} sessions/sec" if sps else "no generation"
+        print(f"\nbenchmark trajectory += {record['commit']} ({shown}) "
+              f"-> {trajectory}")
 
 
 def pytest_terminal_summary(terminalreporter):

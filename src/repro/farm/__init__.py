@@ -9,10 +9,15 @@ summaries into stored records.
 
 from repro.farm.deployment import DeploymentPlan, HoneypotSite, build_default_deployment
 from repro.farm.collector import FarmCollector
+from repro.farm.health import Alert, FarmHealthMonitor, HealthConfig, PotHealth
 
 __all__ = [
     "DeploymentPlan",
     "HoneypotSite",
     "build_default_deployment",
     "FarmCollector",
+    "Alert",
+    "FarmHealthMonitor",
+    "HealthConfig",
+    "PotHealth",
 ]

@@ -13,6 +13,7 @@ from typing import Dict, Optional
 from repro.geo.registry import GeoRegistry
 from repro.honeypot.events import HoneypotEvent
 from repro.honeypot.session import SessionSummary
+from repro.obs import trace as _trace
 from repro.store.records import SessionRecord
 from repro.store.store import SessionStore, StoreBuilder
 
@@ -47,6 +48,9 @@ class FarmCollector:
         self.sessions_by_honeypot[summary.honeypot_id] = (
             self.sessions_by_honeypot.get(summary.honeypot_id, 0) + 1
         )
+        _trace.emit("collector.summary", trace_id=f"session:{summary.session_id}",
+                    sim_time=summary.end_time, sensor=summary.honeypot_id,
+                    hashes=len(summary.file_hashes))
 
     def add_record(self, record: SessionRecord) -> None:
         """Store a pre-built record (bulk generation path)."""
@@ -73,6 +77,8 @@ class FarmCollector:
             )
         if self.keep_events:
             self.events.extend(other.events)
+        _trace.emit("collector.merge", sessions=other.sessions_total,
+                    honeypots=len(other.sessions_by_honeypot))
 
     def build_store(self) -> SessionStore:
         return self.builder.build()

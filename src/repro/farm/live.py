@@ -61,12 +61,20 @@ class LiveFarm:
         registry: Optional[GeoRegistry] = None,
         seed: int = 1,
         n_honeypots: Optional[int] = None,
+        event_tap=None,
     ):
         self.registry = registry or GeoRegistry()
         self.plan = plan or build_default_deployment(registry=self.registry)
         self.collector = FarmCollector(registry=self.registry)
+        self.event_tap = event_tap
+
+        def event_sink(event):
+            self.collector.on_event(event)
+            if self.event_tap is not None:
+                self.event_tap(event)
+
         honeypots = self.plan.build_honeypots(
-            event_sink=self.collector.on_event,
+            event_sink=event_sink,
             summary_sink=self.collector.on_summary,
         )
         self.honeypots: List[Honeypot] = (

@@ -8,6 +8,7 @@ from typing import Callable, Dict, List, Optional
 from repro.honeypot.events import HoneypotEvent
 from repro.honeypot.protocol import Protocol
 from repro.obs import inc as _metric_inc
+from repro.obs import trace as _trace
 from repro.honeypot.session import HoneypotSession, SessionConfig, SessionSummary
 from repro.honeypot.shell.resolver import UriResolver
 from repro.net.tcp import SSH_PORT, TELNET_PORT
@@ -82,6 +83,9 @@ class Honeypot:
         if limit and len(self._live) >= limit:
             self.sessions_refused += 1
             _metric_inc("honeypot.sessions_refused")
+            _trace.emit("honeypot.refused", sim_time=now,
+                        sensor=self.honeypot_id, src_ip=client_ip,
+                        dst_port=dst_port, live=len(self._live))
             raise ConnectionRefusedError(
                 f"{self.honeypot_id}: session limit {limit} reached"
             )

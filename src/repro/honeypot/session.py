@@ -19,6 +19,7 @@ from typing import Callable, List, Optional, Tuple
 from repro.honeypot.auth import AuthPolicy, AuthResult
 from repro.honeypot.events import EventType, HoneypotEvent
 from repro.obs import inc as _metric_inc
+from repro.obs import trace as _trace
 from repro.honeypot.filesystem import FakeFilesystem
 from repro.honeypot.protocol import Protocol
 from repro.honeypot.shell.base import CommandRegistry
@@ -105,6 +106,9 @@ class HoneypotSession:
         event_sink: Optional[Callable[[HoneypotEvent], None]] = None,
     ):
         self.session_id = f"s{next(_session_counter):010x}"
+        #: Flight-recorder identity for this connection: every event the
+        #: session emits carries it, so a trace groups per session.
+        self.trace_id = f"session:{self.session_id}"
         self.honeypot_id = honeypot_id
         self.honeypot_ip = honeypot_ip
         self.protocol = protocol
@@ -145,6 +149,8 @@ class HoneypotSession:
     # -- event plumbing ----------------------------------------------------
 
     def _emit(self, event_type: EventType, now: float, data: dict) -> None:
+        _trace.emit(event_type.value, trace_id=self.trace_id, sim_time=now,
+                    sensor=self.honeypot_id, session=self.session_id, **data)
         if self._event_sink is not None:
             self._event_sink(HoneypotEvent(
                 event_type=event_type,

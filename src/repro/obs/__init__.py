@@ -12,9 +12,26 @@ stderr summary tree plus an optional JSON dump.
 Workers in the sharded generator record into their own registry and ship
 its dict form back with each shard; the parent merges them in shard
 order, so counters from a ``--workers N`` run sum to the serial totals.
+
+The flight recorder (:mod:`repro.obs.trace`) is the registry's
+event-stream counterpart: ring-buffered structured trace events with
+sim-time + wall-time stamps and per-session/per-block trace ids, off by
+default (a single ``None`` check on the hot paths), folded across workers
+in shard order exactly like ``Metrics.merge``.  ``repro.obs.trajectory``
+persists a benchmark record per CI run.
 """
 
-from repro.obs.export import dump_json, load_json, render
+from repro.obs.export import (
+    chrome_trace_events,
+    dump_chrome_trace,
+    dump_json,
+    load_json,
+    read_trace_jsonl,
+    render,
+    render_prometheus,
+    render_timeline,
+    write_trace_jsonl,
+)
 from repro.obs.metrics import (
     Histogram,
     Metrics,
@@ -24,16 +41,34 @@ from repro.obs.metrics import (
     set_metrics,
     use_metrics,
 )
+from repro.obs.trace import (
+    Tracer,
+    get_tracer,
+    set_tracer,
+    use_tracer,
+    validate_trace,
+)
 
 __all__ = [
     "Histogram",
     "Metrics",
+    "Tracer",
+    "chrome_trace_events",
+    "dump_chrome_trace",
     "dump_json",
     "get_metrics",
+    "get_tracer",
     "inc",
     "load_json",
+    "read_trace_jsonl",
     "render",
+    "render_prometheus",
+    "render_timeline",
     "reset_metrics",
     "set_metrics",
+    "set_tracer",
     "use_metrics",
+    "use_tracer",
+    "validate_trace",
+    "write_trace_jsonl",
 ]

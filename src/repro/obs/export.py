@@ -1,14 +1,20 @@
-"""Exporters: the stderr summary tree and the JSON dump.
+"""Exporters: metrics (stderr tree, JSON, Prometheus) and traces
+(JSONL, timeline waterfall, Chrome ``trace_event``).
 
 ``render`` turns a registry into the line-text report printed by
 ``python -m repro <cmd> --metrics``; ``dump_json`` writes the registry's
-dict form to a file for machine consumption (benchmarks, CI artefacts).
+dict form to a file for machine consumption (benchmarks, CI artefacts);
+``render_prometheus`` emits the text exposition format a scraper expects.
+The trace exporters serialise flight-recorder event lists: one JSON object
+per line (``write_trace_jsonl`` / ``read_trace_jsonl``), a per-trace span
+waterfall for stderr (``render_timeline``), and the Chrome ``trace_event``
+JSON that ``about://tracing`` / Perfetto load (``dump_chrome_trace``).
 """
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.metrics import Metrics
 
@@ -113,3 +119,193 @@ def load_json(path: str) -> Metrics:
     """Read a registry previously written by :func:`dump_json`."""
     with open(path, "r", encoding="utf-8") as fh:
         return Metrics.from_dict(json.load(fh))
+
+
+# -- Prometheus text format ----------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """A repro instrument name as a Prometheus metric name."""
+    out = []
+    for ch in name:
+        out.append(ch if ch.isalnum() or ch == "_" else "_")
+    sanitised = "".join(out)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return f"repro_{sanitised}"
+
+
+def render_prometheus(metrics: Metrics) -> str:
+    """The registry in Prometheus text exposition format.
+
+    Counters and gauges map directly; histograms surface as summaries
+    (``_count`` / ``_sum`` plus p50/p90/p99 ``quantile`` labels), which is
+    what lets ``repro monitor`` output be scraped without a client library.
+    """
+    lines: List[str] = []
+    for name in sorted(metrics.counters):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {float(metrics.counters[name]):g}")
+    for name in sorted(metrics.gauges):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {float(metrics.gauges[name]):g}")
+    for name in sorted(metrics.histograms):
+        hist = metrics.histograms[name]
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} summary")
+        for q in (0.5, 0.9, 0.99):
+            lines.append(
+                f'{prom}{{quantile="{q:g}"}} {hist.percentile(q * 100):g}'
+            )
+        lines.append(f"{prom}_sum {hist.total:g}")
+        lines.append(f"{prom}_count {hist.count}")
+    for path in sorted(metrics.spans):
+        cell = metrics.spans[path]
+        prom = _prom_name(f"span_{path}")
+        lines.append(f"# TYPE {prom}_seconds counter")
+        lines.append(f"{prom}_seconds {cell['wall']:g}")
+        lines.append(f"{prom}_count {int(cell['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+# -- trace exporters -----------------------------------------------------------
+
+
+def write_trace_jsonl(events: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write flight-recorder events as JSON lines; returns the count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_trace_jsonl(path: str) -> List[Dict[str, Any]]:
+    """Read a JSONL trace written by a tracer sink or write_trace_jsonl."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def render_timeline(
+    events: List[Dict[str, Any]],
+    width: int = 64,
+    max_traces: int = 40,
+) -> str:
+    """A per-trace span waterfall over simulation time, for stderr.
+
+    Each trace id gets one row: a bar spanning its first..last ``ts``
+    positioned on a shared axis, annotated with the event count.  Traces
+    print in first-seen order (the waterfall); with more than
+    ``max_traces`` the busiest are kept and the tail summarised.
+    """
+    spans: Dict[str, List[float]] = {}
+    order: List[str] = []
+    stamped = 0
+    for event in events:
+        ts = event.get("ts")
+        if ts is None:
+            continue
+        stamped += 1
+        trace_id = event.get("trace_id") or "(no trace)"
+        cell = spans.get(trace_id)
+        if cell is None:
+            spans[trace_id] = [ts, ts, 1]
+            order.append(trace_id)
+        else:
+            cell[0] = min(cell[0], ts)
+            cell[1] = max(cell[1], ts)
+            cell[2] += 1
+    if not spans:
+        return "(no sim-time-stamped events to draw)"
+    t0 = min(cell[0] for cell in spans.values())
+    t1 = max(cell[1] for cell in spans.values())
+    span = max(t1 - t0, 1e-9)
+    shown = order
+    dropped = 0
+    if len(order) > max_traces:
+        busiest = set(sorted(order, key=lambda t: -spans[t][2])[:max_traces])
+        shown = [t for t in order if t in busiest]
+        dropped = len(order) - len(shown)
+    label_w = min(max(len(t) for t in shown), 28)
+    lines = [
+        f"== trace timeline: {len(order)} traces, {stamped} stamped events, "
+        f"t={t0:.1f}s..{t1:.1f}s =="
+    ]
+    for trace_id in shown:
+        lo, hi, n = spans[trace_id]
+        a = int((lo - t0) / span * (width - 1))
+        b = max(int((hi - t0) / span * (width - 1)), a)
+        bar = " " * a + "#" * (b - a + 1)
+        label = (trace_id[: label_w - 1] + "…"
+                 if len(trace_id) > label_w else trace_id)
+        lines.append(f"{label:<{label_w}} |{bar:<{width}}| n={int(n)}")
+    if dropped:
+        lines.append(f"... and {dropped} quieter traces")
+    return "\n".join(lines)
+
+
+def chrome_trace_events(events: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Flight-recorder events in Chrome ``trace_event`` form.
+
+    Each trace id becomes one "thread": a complete ("X") slice spanning
+    its first..last sim-time stamp, plus instant ("i") marks per event.
+    Shard provenance maps to the pid so about://tracing groups worker
+    output visually.  Sim seconds map to trace microseconds.
+    """
+    by_trace: Dict[str, List[Dict[str, Any]]] = {}
+    order: List[str] = []
+    for event in events:
+        if event.get("ts") is None:
+            continue
+        trace_id = event.get("trace_id") or "(no trace)"
+        if trace_id not in by_trace:
+            by_trace[trace_id] = []
+            order.append(trace_id)
+        by_trace[trace_id].append(event)
+    out: List[Dict[str, Any]] = []
+    for tid_index, trace_id in enumerate(order):
+        group = by_trace[trace_id]
+        first, last = group[0], group[-1]
+        shard = first.get("shard") or {}
+        pid = int(shard.get("index", 0))
+        t0 = min(e["ts"] for e in group)
+        t1 = max(e["ts"] for e in group)
+        out.append({
+            "name": trace_id,
+            "cat": "trace",
+            "ph": "X",
+            "pid": pid,
+            "tid": tid_index,
+            "ts": t0 * 1e6,
+            "dur": max((t1 - t0) * 1e6, 1.0),
+            "args": {"events": len(group),
+                     "shard": shard.get("key", "")},
+        })
+        for event in group:
+            out.append({
+                "name": event.get("kind", "?"),
+                "cat": "event",
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": tid_index,
+                "ts": event["ts"] * 1e6,
+                "args": event.get("data", {}),
+            })
+    return out
+
+
+def dump_chrome_trace(events: List[Dict[str, Any]], path: str) -> None:
+    """Write the Chrome ``trace_event`` JSON for about://tracing."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": chrome_trace_events(events),
+                   "displayTimeUnit": "ms"}, fh)
+        fh.write("\n")

@@ -24,6 +24,7 @@ their measurements.
 from __future__ import annotations
 
 import math
+import random
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
@@ -32,38 +33,74 @@ from typing import Dict, Iterator, List, Optional, Union
 class Histogram:
     """Raw-sample histogram with percentile queries.
 
-    Samples are kept verbatim (instrumented sites observe per-block or
-    per-shard quantities, so cardinality stays small) which keeps merges
-    exact: concatenating two histograms is the same as observing both
-    sample sets into one.
+    **Uncapped** (the default), samples are kept verbatim (instrumented
+    sites observe per-block or per-shard quantities, so cardinality stays
+    small) which keeps merges exact: concatenating two histograms is the
+    same as observing both sample sets into one.
+
+    **Capped** (``cap=N``), the sample list is a fixed-size reservoir
+    (Algorithm R with a deterministic per-instance rng) so unbounded
+    observation streams — per-session latencies in a million-session live
+    run — cannot grow memory without bound.  ``count`` / ``total`` /
+    ``mean`` / ``max`` stay exact (tracked as scalars alongside the
+    reservoir); percentiles become reservoir estimates.  The tradeoff is
+    merge exactness: merging capped histograms re-subsamples the combined
+    reservoir, so percentiles of a merged capped histogram are an estimate
+    of (not identical to) observing both streams into one — which is why
+    the multiprocess pipeline instruments keep the uncapped default.
     """
 
-    __slots__ = ("values",)
+    __slots__ = ("values", "cap", "_count", "_total", "_max", "_rng")
 
-    def __init__(self, values: Optional[List[float]] = None):
-        self.values: List[float] = list(values) if values else []
+    def __init__(self, values: Optional[List[float]] = None,
+                 cap: Optional[int] = None):
+        self.cap = int(cap) if cap else None
+        self._rng = random.Random(0x5EED) if self.cap else None
+        self.values: List[float] = []
+        self._count = 0
+        self._total = 0.0
+        self._max = 0.0
+        if values:
+            for v in values:
+                self.observe(v)
 
     def observe(self, value: float) -> None:
-        self.values.append(float(value))
+        value = float(value)
+        self._count += 1
+        self._total += value
+        if value > self._max or self._count == 1:
+            self._max = value
+        cap = self.cap
+        if cap is None or len(self.values) < cap:
+            self.values.append(value)
+        else:
+            # Algorithm R: the i-th observation replaces a reservoir slot
+            # with probability cap/i, keeping a uniform sample of the stream.
+            j = self._rng.randrange(self._count)
+            if j < cap:
+                self.values[j] = value
 
     @property
     def count(self) -> int:
-        return len(self.values)
+        return self._count
 
     @property
     def total(self) -> float:
-        return float(sum(self.values))
+        return self._total
 
     @property
     def mean(self) -> float:
-        return self.total / len(self.values) if self.values else 0.0
+        return self._total / self._count if self._count else 0.0
 
     @property
     def max(self) -> float:
-        return float(max(self.values)) if self.values else 0.0
+        return self._max if self._count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Linear-interpolated percentile ``p`` in [0, 100]."""
+        """Linear-interpolated percentile ``p`` in [0, 100].
+
+        Exact for uncapped histograms; a reservoir estimate once capped.
+        """
         if not self.values:
             return 0.0
         xs = sorted(self.values)
@@ -75,7 +112,61 @@ class Histogram:
         return xs[lo] + (xs[hi] - xs[lo]) * (rank - lo)
 
     def merge(self, other: "Histogram") -> None:
-        self.values.extend(other.values)
+        self.merge_payload(other.to_payload())
+
+    # -- serialisation ---------------------------------------------------------
+
+    def to_payload(self):
+        """Dict-form payload: a bare sample list while exact (uncapped),
+        a ``{values, count, total, max, cap}`` object once capped."""
+        if self.cap is None:
+            return list(self.values)
+        return {
+            "values": list(self.values),
+            "count": self._count,
+            "total": self._total,
+            "max": self._max,
+            "cap": self.cap,
+        }
+
+    def merge_payload(self, payload) -> None:
+        """Fold a payload (bare list or capped dict form) into this one.
+
+        List-into-uncapped keeps exact semantics (plain concatenation).
+        Any capped participant makes the result capped (adopting the
+        payload's cap when this histogram has none) and the combined
+        sample set is re-admitted through the reservoir.
+        """
+        if isinstance(payload, dict):
+            incoming = payload.get("values", [])
+            count = int(payload.get("count", len(incoming)))
+            total = float(payload.get("total", sum(incoming)))
+            peak = float(payload.get("max", max(incoming) if incoming else 0.0))
+            cap = payload.get("cap")
+            if cap and self.cap is None:
+                self.cap = int(cap)
+                self._rng = random.Random(0x5EED)
+                if len(self.values) > self.cap:
+                    self.values = self._rng.sample(self.values, self.cap)
+        else:
+            incoming = payload
+            count = len(incoming)
+            total = float(sum(incoming))
+            peak = float(max(incoming)) if incoming else 0.0
+        if self.cap is None:
+            self.values.extend(float(v) for v in incoming)
+            self._count += count
+            self._total += total
+            if count and (peak > self._max or self._count == count):
+                self._max = peak
+            return
+        # Capped: admit the incoming samples through the reservoir, then
+        # restore the exact scalar accumulators (observe() re-counts).
+        saved = (self._count + count, self._total + total,
+                 max(self._max, peak) if self._count else peak)
+        for v in incoming:
+            self.observe(v)
+        self._count, self._total, self._max = saved
 
 
 def _new_span_cell() -> Dict[str, float]:
@@ -122,6 +213,18 @@ class Metrics:
             hist = self.histograms[name] = Histogram()
         hist.observe(value)
 
+    def histogram(self, name: str, cap: Optional[int] = None) -> Histogram:
+        """Get-or-create histogram ``name`` (``cap`` applies on creation).
+
+        Unbounded-stream observers (the live farm-health monitor) create
+        their histograms through this with a reservoir cap; pipeline
+        instruments keep the exact uncapped default via :meth:`observe`.
+        """
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(cap=cap)
+        return hist
+
     @contextmanager
     def timer(self, name: str) -> Iterator[None]:
         """Time a block into histogram ``name`` (seconds)."""
@@ -164,7 +267,7 @@ class Metrics:
         return {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
-            "histograms": {k: list(h.values) for k, h in self.histograms.items()},
+            "histograms": {k: h.to_payload() for k, h in self.histograms.items()},
             "spans": {k: dict(v) for k, v in self.spans.items()},
         }
 
@@ -192,11 +295,11 @@ class Metrics:
             self.inc(name, value)
         for name, value in data.get("gauges", {}).items():
             self.gauge_max(name, value)
-        for name, values in data.get("histograms", {}).items():
+        for name, payload in data.get("histograms", {}).items():
             hist = self.histograms.get(name)
             if hist is None:
                 hist = self.histograms[name] = Histogram()
-            hist.values.extend(values)
+            hist.merge_payload(payload)
         for path, cell in data.get("spans", {}).items():
             if span_prefix:
                 path = f"{span_prefix}/{path}"

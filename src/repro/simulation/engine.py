@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.obs import get_metrics, inc as _metric_inc
+from repro.obs import trace as _trace
 from repro.simulation.clock import SimClock, Timestamp
 
 
@@ -26,11 +27,17 @@ class Event:
     action: Callable[[], Any] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Flight-recorder trace id captured at schedule time; dispatch
+    #: re-enters this context so work done by the action attributes to
+    #: the session/connection that scheduled it.
+    trace_id: Optional[str] = field(default=None, compare=False)
 
     def cancel(self) -> None:
         if not self.cancelled:
             self.cancelled = True
             _metric_inc("engine.events_cancelled")
+            _trace.emit("engine.cancel", trace_id=self.trace_id,
+                        sim_time=self.when, label=self.label)
 
 
 class EventQueue:
@@ -41,7 +48,8 @@ class EventQueue:
         self._counter = itertools.count()
 
     def push(self, when: float, action: Callable[[], Any], label: str = "") -> Event:
-        event = Event(when=float(when), seq=next(self._counter), action=action, label=label)
+        event = Event(when=float(when), seq=next(self._counter), action=action, label=label,
+                      trace_id=_trace.current_trace_id())
         heapq.heappush(self._heap, event)
         metrics = get_metrics()
         metrics.inc("engine.events_scheduled")
@@ -99,7 +107,16 @@ class SimulationEngine:
         if event is None:
             return False
         self.clock.advance_to(event.when)
-        event.action()
+        tracer = _trace.get_tracer()
+        if tracer is None:
+            event.action()
+        else:
+            # Re-enter the trace context captured at schedule time, so any
+            # events the action emits group under its session/connection.
+            with tracer.context(event.trace_id):
+                tracer.emit("engine.dispatch", sim_time=event.when,
+                            label=event.label)
+                event.action()
         self.events_processed += 1
         _metric_inc("engine.events_dispatched")
         return True

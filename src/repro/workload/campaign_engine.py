@@ -20,6 +20,7 @@ from repro.agents.scripts import ScriptKind, build_script
 from repro.geo.continents import continent_of
 from repro.intel.database import IntelDatabase
 from repro.obs import inc as _metric_inc
+from repro.obs.trace import emit_block as _trace_block
 from repro.simulation.rng import RngStream
 from repro.workload.config import ScenarioConfig
 from repro.workload.emit import SessionEmitter
@@ -355,6 +356,9 @@ class CampaignEngine:
         _metric_inc(f"generator.sessions.{campaign.category}", m)
         _metric_inc("generator.campaign_days")
         _metric_inc("generator.campaign_sessions", m)
+        _trace_block(f"emit.{campaign.spec.campaign_id}", day, m,
+                     campaign=campaign.spec.campaign_id,
+                     session_kind=campaign.category)
         return m
 
     def _locality_subsets(

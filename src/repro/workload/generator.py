@@ -34,6 +34,8 @@ from repro.farm.deployment import DeploymentPlan, build_default_deployment
 from repro.geo.registry import GeoRegistry, NetworkType
 from repro.intel.database import IntelDatabase
 from repro.obs import get_metrics, inc as _metric_inc
+from repro.obs import trace as _trace
+from repro.obs.trace import emit_block as _trace_block
 from repro.simulation.rng import RngStream
 from repro.store.store import StoreBuilder
 from repro.workload.campaign_engine import CampaignEngine, RealizedCampaign, URI_KINDS
@@ -293,6 +295,7 @@ class TraceGenerator:
         )
         _metric_inc("generator.sessions.NO_CRED", m)
         _metric_inc("generator.days.NO_CRED")
+        _trace_block("no_cred", day, m)
 
     def _fail_log_setup(
         self, rng: RngStream
@@ -375,6 +378,7 @@ class TraceGenerator:
         )
         _metric_inc("generator.sessions.FAIL_LOG", m)
         _metric_inc("generator.days.FAIL_LOG")
+        _trace_block("fail_log", day, m)
 
     def _emit_fail_log_spike(
         self,
@@ -415,6 +419,7 @@ class TraceGenerator:
         )
         _metric_inc("generator.sessions.FAIL_LOG", m)
         _metric_inc("generator.spike_sessions.FAIL_LOG", m)
+        _trace_block("fail_log", day, m, spike=True)
 
     def _no_cmd_setup(self, rng: RngStream) -> Tuple[_RuPrefixClients, np.ndarray]:
         ru_count = max(8, int(48 * self.config.ip_scale * 10))
@@ -474,6 +479,7 @@ class TraceGenerator:
                 version_id=self.emitter.client_versions(rng, m, protocol),
             )
             _metric_inc("generator.sessions.NO_CMD", m)
+            _trace_block("no_cmd", day, m, ru=True)
 
         if n_regular > 0:
             clients = self._active_clients("NO_CMD", day, rng)
@@ -501,6 +507,7 @@ class TraceGenerator:
                 version_id=self.emitter.client_versions(rng, m, protocol),
             )
             _metric_inc("generator.sessions.NO_CMD", m)
+            _trace_block("no_cmd", day, m)
         _metric_inc("generator.days.NO_CMD")
 
     def _realize_campaigns(self) -> None:
@@ -591,6 +598,8 @@ class TraceGenerator:
                 emitted += 1
         self._campaign_sessions["CMD"] += emitted  # counts against CMD budget
         _metric_inc("generator.sessions.singletons", emitted)
+        _trace.emit("generator.block", trace_id="singletons",
+                    category="singletons", sessions=emitted)
 
     # -- singleton writers, sharded path --------------------------------------
     #
@@ -667,6 +676,9 @@ class TraceGenerator:
                 version_id=-1,
             )
         _metric_inc("generator.sessions.singletons", n_sessions)
+        _trace.emit("generator.block", trace_id=f"singletons.w{w}",
+                    sim_time=day0 * 86400.0, category="singletons",
+                    writer=w, sessions=n_sessions)
 
     def _bg_cmd_profiles(self) -> Tuple[int, np.ndarray, np.ndarray]:
         """Intern the fixed recon/fileless script set into ``self.builder``."""
@@ -734,6 +746,7 @@ class TraceGenerator:
         )
         _metric_inc("generator.sessions.CMD", m)
         _metric_inc("generator.days.CMD")
+        _trace_block("bg_cmd", day, m)
 
     def _bg_uri_profiles(self) -> Tuple[int, np.ndarray, List[Tuple[int, ...]], np.ndarray]:
         """Intern the uncatalogued dropper script set into ``self.builder``."""
@@ -822,6 +835,7 @@ class TraceGenerator:
         )
         _metric_inc("generator.sessions.CMD_URI", m)
         _metric_inc("generator.days.CMD_URI")
+        _trace_block("bg_uri", day, m)
 
     def _local_biased_pots(self, rng: RngStream, idx: np.ndarray) -> np.ndarray:
         """Target choice with the CMD+URI locality bias (Fig 16b).

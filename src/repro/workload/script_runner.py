@@ -17,6 +17,7 @@ from repro.honeypot.honeypot import Honeypot, HoneypotConfig
 from repro.honeypot.protocol import Protocol
 from repro.honeypot.session import SessionConfig
 from repro.honeypot.shell.resolver import StaticPayloadResolver
+from repro.obs.trace import use_tracer
 from repro.simulation.engine import Event, SimulationEngine
 
 #: Seconds of "typing time" charged per input line when profiling.
@@ -62,12 +63,23 @@ class ScriptRunner:
         self._cache: Dict[Tuple, ScriptProfile] = {}
 
     def profile(self, template: ScriptTemplate) -> ScriptProfile:
-        """Run ``template`` once (cached) and return its profile."""
+        """Run ``template`` once (cached) and return its profile.
+
+        Profiling runs with the flight recorder silenced: the reference
+        honeypot session is a per-process measurement detail (cached, so a
+        second worker legitimately re-profiles), and its events would make
+        the workload trace worker-count-variant.
+        """
         key = (template.kind, template.token, tuple(template.lines))
         cached = self._cache.get(key)
         if cached is not None:
             return cached
+        with use_tracer(None):
+            profile = self._profile_uncached(template)
+        self._cache[key] = profile
+        return profile
 
+    def _profile_uncached(self, template: ScriptTemplate) -> ScriptProfile:
         if template.dropper_uri and template.payload is not None:
             self._register_payload_uris(template)
 
@@ -122,7 +134,7 @@ class ScriptRunner:
         download_seconds = sum(
             d.duration for d in session.shell_context.downloads if d.success
         )
-        profile = ScriptProfile(
+        return ScriptProfile(
             kind=template.kind,
             token=template.token,
             commands=tuple(summary.commands),
@@ -131,8 +143,6 @@ class ScriptRunner:
             exec_seconds=len(template.lines) * THINK_TIME_PER_LINE + download_seconds,
             download_seconds=download_seconds,
         )
-        self._cache[key] = profile
-        return profile
 
     def _register_payload_uris(self, template: ScriptTemplate) -> None:
         """Register the campaign payload under every URI the script uses.

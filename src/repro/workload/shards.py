@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.obs import get_metrics, use_metrics
+from repro.obs import trace as _trace
 from repro.store.store import SessionStore
 from repro.workload.config import ScenarioConfig
 from repro.workload.dataset import HoneyfarmDataset
@@ -204,19 +205,35 @@ def _plan_for(config: ScenarioConfig) -> ShardPlan:
     return _PLAN
 
 
-def _emit_indexed(task: Tuple[ScenarioConfig, int]) -> Tuple[SessionStore, Dict]:
-    """Worker entry: emit one shard plus the metrics it recorded.
+def _emit_indexed(task: Tuple[ScenarioConfig, int, bool]):
+    """Worker entry: emit one shard plus the metrics/trace it recorded.
 
     The shard is emitted under a fresh registry (plan construction, which a
     spawn-started worker redoes once, stays outside it), whose dict form
     travels back with the store so the parent can merge worker-side
-    counters and stage timings in shard order.
+    counters and stage timings in shard order.  With ``want_trace`` the
+    shard also records under a fresh flight recorder whose event list
+    travels back the same way — the ``want_trace`` flag rides in the task
+    (not process state) so spawn-started workers honour it too.
     """
-    config, index = task
+    config, index, want_trace = task
     plan = _plan_for(config)
+    shard = plan.shards[index]
     with use_metrics() as metrics:
-        store = emit_shard(plan, plan.shards[index])
-    return store, metrics.to_dict()
+        if want_trace:
+            with _trace.use_tracer(_trace.Tracer()) as tracer:
+                tracer.emit(
+                    "shard.emit",
+                    trace_id=f"shard:{shard.kind}:{shard.key}:{shard.start}",
+                    shard_kind=shard.kind, key=shard.key,
+                    start=shard.start, stop=shard.stop,
+                )
+                store = emit_shard(plan, shard)
+            events = tracer.to_list()
+        else:
+            store = emit_shard(plan, shard)
+            events = None
+    return store, metrics.to_dict(), events
 
 
 def _mp_context():
@@ -244,9 +261,11 @@ def generate_sharded(
         shards = plan.shards
         metrics.gauge_set("shards.count", len(shards))
         metrics.gauge_set("shards.workers", workers)
+        tracer = _trace.get_tracer()
+        want_trace = tracer is not None
         emit_wall0 = time.perf_counter()
         with metrics.span("emit"):
-            tasks = [(config, i) for i in range(len(shards))]
+            tasks = [(config, i, want_trace) for i in range(len(shards))]
             if workers == 1 or len(shards) <= 1:
                 results = [_emit_indexed(task) for task in tasks]
             else:
@@ -256,9 +275,17 @@ def generate_sharded(
         # Fold worker-side metrics back in shard order; their stage
         # timings nest under this span tree.  Worker walls sum over
         # parallel shards, so the per-kind totals can exceed the parent
-        # "emit" wall — the surplus is the parallel speedup.
-        for _store, worker_metrics in results:
+        # "emit" wall — the surplus is the parallel speedup.  Worker trace
+        # events fold in the same shard order, re-stamped with shard
+        # provenance, so the combined trace is worker-count-invariant.
+        for index, (_store, worker_metrics, events) in enumerate(results):
             metrics.merge(worker_metrics, span_prefix="generate/emit")
+            if want_trace and events:
+                shard = shards[index]
+                tracer.fold(events, shard={
+                    "index": index, "kind": shard.kind, "key": shard.key,
+                    "start": shard.start, "stop": shard.stop,
+                })
         busy = sum(
             cell["wall"] for path, cell in metrics.spans.items()
             if path.startswith("generate/emit/shard/")
@@ -272,7 +299,9 @@ def generate_sharded(
         with metrics.span("merge"):
             # Merge into a rows-free fork so the cached plan stays reusable.
             builder = plan.gen.builder.fork_tables()
-            for store, _worker_metrics in results:
+            for store, _worker_metrics, _events in results:
                 builder.adopt_store(store)
             merged = builder.build()
+        _trace.emit("generate.merged", shards=len(shards),
+                    workers=workers, sessions=len(merged))
     return plan.gen._finalize(merged)

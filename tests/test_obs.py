@@ -90,6 +90,112 @@ class TestHistogram:
         assert all(v >= 0 for v in h.values)
 
 
+class TestHistogramReservoirCap:
+    """The optional cap: bounded samples, exact scalars, estimated tails."""
+
+    def test_uncapped_default_keeps_everything(self):
+        h = Histogram()
+        for v in range(10_000):
+            h.observe(v)
+        assert len(h.values) == 10_000
+        assert h.cap is None
+
+    def test_cap_bounds_the_sample_list(self):
+        h = Histogram(cap=64)
+        for v in range(10_000):
+            h.observe(v)
+        assert len(h.values) == 64
+
+    def test_scalars_stay_exact_under_cap(self):
+        h = Histogram(cap=16)
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert h.total == 500500.0
+        assert h.mean == 500.5
+        assert h.max == 1000.0
+
+    def test_reservoir_is_representative(self):
+        # Uniform stream 0..9999: the reservoir's median should estimate
+        # the true median within a loose tolerance.
+        h = Histogram(cap=512)
+        for v in range(10_000):
+            h.observe(float(v))
+        assert h.percentile(50) == pytest.approx(5000, rel=0.25)
+
+    def test_reservoir_is_deterministic(self):
+        def build():
+            h = Histogram(cap=32)
+            for v in range(1000):
+                h.observe(float(v))
+            return h.values
+
+        assert build() == build()
+
+    def test_below_cap_behaves_exactly(self):
+        exact, capped = Histogram(), Histogram(cap=100)
+        for v in (3.0, 1.0, 2.0):
+            exact.observe(v)
+            capped.observe(v)
+        assert capped.values == exact.values
+        assert capped.percentile(50) == exact.percentile(50)
+
+    def test_uncapped_payload_is_bare_list(self):
+        h = Histogram([1.0, 2.0])
+        assert h.to_payload() == [1.0, 2.0]
+
+    def test_capped_payload_carries_exact_scalars(self):
+        h = Histogram(cap=4)
+        for v in range(1, 11):
+            h.observe(float(v))
+        payload = h.to_payload()
+        assert payload["cap"] == 4
+        assert payload["count"] == 10
+        assert payload["total"] == 55.0
+        assert payload["max"] == 10.0
+        assert len(payload["values"]) == 4
+
+    def test_merge_capped_into_uncapped_adopts_cap(self):
+        capped = Histogram(cap=8)
+        for v in range(100):
+            capped.observe(float(v))
+        plain = Histogram([1000.0, 2000.0])
+        plain.merge(capped)
+        assert plain.cap == 8
+        assert len(plain.values) <= 8
+        assert plain.count == 102
+        assert plain.total == pytest.approx(sum(range(100)) + 3000.0)
+        assert plain.max == 2000.0
+
+    def test_merge_list_into_capped_keeps_exact_scalars(self):
+        h = Histogram(cap=4)
+        for v in range(1, 6):
+            h.observe(float(v))
+        h.merge_payload([10.0, 20.0])
+        assert h.count == 7
+        assert h.total == 45.0
+        assert h.max == 20.0
+        assert len(h.values) <= 4
+
+    def test_registry_histogram_accessor_applies_cap_once(self):
+        m = Metrics()
+        first = m.histogram("h", cap=8)
+        second = m.histogram("h", cap=999)  # existing instrument wins
+        assert first is second
+        assert first.cap == 8
+
+    def test_uncapped_serialisation_unchanged_by_the_feature(self):
+        # The uncapped payload stays a bare list: dict round-trips written
+        # by earlier versions of the registry still load.
+        m = Metrics()
+        m.observe("h", 1.0)
+        m.observe("h", 2.5)
+        assert m.to_dict()["histograms"]["h"] == [1.0, 2.5]
+        clone = Metrics.from_dict(m.to_dict())
+        assert clone.histograms["h"].values == [1.0, 2.5]
+        assert clone.histograms["h"].cap is None
+
+
 class TestSpans:
     def test_nesting_builds_slash_paths(self):
         m = Metrics()
@@ -176,6 +282,83 @@ class TestMerge:
         parent.merge(worker.to_dict(), span_prefix="generate/emit")
         assert set(parent.spans) == {
             "generate/emit/shard", "generate/emit/shard/campaign"}
+
+    def test_rerooted_paths_collide_with_real_spans_by_summing(self):
+        # The parent really entered generate/emit; the worker's re-rooted
+        # "emit" tree lands on the same paths and must sum, not replace.
+        parent, worker = Metrics(), Metrics()
+        with parent.span("generate"):
+            with parent.span("emit"):
+                pass
+        with worker.span("emit"):
+            pass
+        parent.merge(worker.to_dict(), span_prefix="generate")
+        assert parent.spans["generate/emit"]["count"] == 2
+        assert parent.spans["generate"]["count"] == 1
+
+    def test_implicit_parent_not_materialised_by_merge(self):
+        # Re-rooting creates deep paths whose ancestors were never entered;
+        # merge must not invent span cells for them (the renderer
+        # synthesises implicit nodes at display time instead).
+        parent, worker = Metrics(), Metrics()
+        with worker.span("shard"):
+            with worker.span("campaign"):
+                pass
+        parent.merge(worker.to_dict(), span_prefix="generate/emit")
+        assert "generate" not in parent.spans
+        assert "generate/emit" not in parent.spans
+        assert parent.spans["generate/emit/shard"]["count"] == 1
+
+    def test_real_span_entered_after_implicit_children_merged(self):
+        # Order of arrival must not matter: worker paths first, then the
+        # parent genuinely enters the ancestor path.
+        parent, worker = Metrics(), Metrics()
+        with worker.span("shard"):
+            pass
+        parent.merge(worker.to_dict(), span_prefix="generate/emit")
+        with parent.span("generate"):
+            with parent.span("emit"):
+                pass
+        assert parent.spans["generate/emit"]["count"] == 1
+        assert parent.spans["generate/emit/shard"]["count"] == 1
+
+    def test_render_does_not_double_count_real_parents(self):
+        from repro.obs.export import _span_tree
+
+        parent, worker = Metrics(), Metrics()
+        with parent.span("generate"):
+            with parent.span("emit"):
+                pass
+        real_wall = parent.spans["generate"]["wall"]
+        with worker.span("shard"):
+            pass
+        parent.merge(worker.to_dict(), span_prefix="generate/emit")
+        nodes, children, roots = _span_tree(parent.spans)
+        # "generate" was really entered: its wall stays measured, not
+        # re-aggregated from children.
+        assert nodes["generate"]["wall"] == real_wall
+        # The implicit "generate/emit/shard" parent chain renders under it.
+        assert "generate/emit/shard" in children["generate/emit"]
+
+    def test_render_aggregates_implicit_parents_once(self):
+        from repro.obs.export import _span_tree
+
+        parent, worker = Metrics(), Metrics()
+        with worker.span("shard"):
+            pass
+        worker.spans["shard"]["wall"] = 2.0
+        worker2 = Metrics()
+        with worker2.span("shard"):
+            pass
+        worker2.spans["shard"]["wall"] = 3.0
+        parent.merge(worker.to_dict(), span_prefix="generate/emit")
+        parent.merge(worker2.to_dict(), span_prefix="generate/emit")
+        nodes, _children, _roots = _span_tree(parent.spans)
+        # Implicit chain generate -> emit -> shard: each level shows the
+        # 5.0s total exactly once.
+        assert nodes["generate/emit/shard"]["wall"] == pytest.approx(5.0)
+        assert nodes["generate/emit"]["wall"] == pytest.approx(5.0)
+        assert nodes["generate"]["wall"] == pytest.approx(5.0)
 
     def test_merge_accepts_dict_or_metrics(self):
         a, b = Metrics(), Metrics()

@@ -1,0 +1,493 @@
+"""Tests for the flight recorder (``repro.obs.trace``) and its exporters.
+
+Covers the tracer itself (ring buffer, context stack, folding), schema
+validation, the JSONL / timeline / Chrome exporters, the benchmark
+trajectory, and the multiprocess contract: with tracing on, the sharded
+generator's per-trace event sequences are identical for every worker
+count (modulo shard provenance and run metadata).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs import (
+    chrome_trace_events,
+    read_trace_jsonl,
+    render_prometheus,
+    render_timeline,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import Metrics
+from repro.obs.trace import (
+    Tracer,
+    emit,
+    emit_block,
+    enabled,
+    get_tracer,
+    group_by_trace,
+    strip_volatile,
+    use_tracer,
+    validate_trace,
+)
+
+
+class TestTracer:
+    def test_emit_stamps_required_fields(self):
+        t = Tracer()
+        event = t.emit("unit.test", trace_id="x", sim_time=3.0, foo=1)
+        assert event["kind"] == "unit.test"
+        assert event["trace_id"] == "x"
+        assert event["ts"] == 3.0
+        assert event["data"] == {"foo": 1}
+        assert event["seq"] == 0
+        assert isinstance(event["wall"], float)
+
+    def test_seq_strictly_increases(self):
+        t = Tracer()
+        seqs = [t.emit("k")["seq"] for _ in range(5)]
+        assert seqs == [0, 1, 2, 3, 4]
+
+    def test_optional_fields_omitted_when_absent(self):
+        t = Tracer()
+        event = t.emit("bare")
+        assert "ts" not in event
+        assert "data" not in event
+
+    def test_ring_buffer_drops_oldest(self):
+        t = Tracer(capacity=4)
+        for i in range(6):
+            t.emit("k", n=i)
+        events = t.to_list()
+        assert len(events) == 4
+        assert t.dropped == 2
+        assert t.emitted == 6
+        assert events[0]["data"] == {"n": 2}
+
+    def test_context_supplies_trace_id(self):
+        t = Tracer()
+        with t.context("outer"):
+            a = t.emit("k")
+            with t.context("inner"):
+                b = t.emit("k")
+            c = t.emit("k")
+        d = t.emit("k")
+        assert [e["trace_id"] for e in (a, b, c, d)] == [
+            "outer", "inner", "outer", None]
+
+    def test_explicit_trace_id_beats_context(self):
+        t = Tracer()
+        with t.context("ctx"):
+            assert t.emit("k", trace_id="mine")["trace_id"] == "mine"
+
+    def test_mint_counts_per_scope(self):
+        t = Tracer()
+        assert t.mint("conn") == "conn#0"
+        assert t.mint("conn") == "conn#1"
+        assert t.mint("other") == "other#0"
+
+    def test_sink_streams_jsonl(self):
+        sink = io.StringIO()
+        t = Tracer(sink=sink)
+        t.emit("a", trace_id="x")
+        t.emit("b")
+        lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [e["kind"] for e in lines] == ["a", "b"]
+
+    def test_fold_restamps_seq_and_attaches_shard(self):
+        worker = Tracer()
+        worker.emit("w.one", trace_id="t", sim_time=1.0)
+        worker.emit("w.two", trace_id="t", sim_time=2.0)
+        parent = Tracer()
+        parent.emit("p.zero")
+        n = parent.fold(worker.to_list(),
+                        shard={"index": 3, "kind": "bg_cmd", "key": "bg_cmd"})
+        assert n == 2
+        events = parent.to_list()
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert events[1]["shard"]["index"] == 3
+        assert events[1]["ts"] == 1.0  # original stamps survive
+        # The worker's own event objects are not mutated.
+        assert "shard" not in worker.to_list()[0]
+
+
+class TestCurrentTracer:
+    def test_disabled_by_default(self):
+        assert get_tracer() is None or True  # other tests may install one
+        with use_tracer(None):
+            assert not enabled()
+            emit("k")  # must be a silent no-op
+
+    def test_use_tracer_swaps_and_restores(self):
+        t = Tracer()
+        with use_tracer(t):
+            assert get_tracer() is t
+            emit("seen", trace_id="x")
+            with use_tracer(None):
+                assert not enabled()
+                emit("silenced")
+            emit_block("no_cred", 17, 40)
+        assert get_tracer() is not t
+        kinds = [e["kind"] for e in t.to_list()]
+        assert kinds == ["seen", "generator.block"]
+
+    def test_emit_block_names_category_day(self):
+        t = Tracer()
+        with use_tracer(t):
+            emit_block("no_cred", 17, 40, spike=True)
+        [event] = t.to_list()
+        assert event["trace_id"] == "no_cred.d17"
+        assert event["ts"] == 17 * 86400.0
+        assert event["data"]["sessions"] == 40
+        assert event["data"]["spike"] is True
+
+
+class TestValidateTrace:
+    def _good(self):
+        t = Tracer()
+        t.emit("a", trace_id="x", sim_time=1.0)
+        t.emit("b", trace_id="x", sim_time=2.0)
+        t.emit("c", trace_id="y", sim_time=0.5)
+        return t.to_list()
+
+    def test_valid_trace_has_no_problems(self):
+        assert validate_trace(self._good()) == []
+
+    def test_missing_required_field(self):
+        events = self._good()
+        del events[0]["kind"]
+        assert any("kind" in p for p in validate_trace(events))
+
+    def test_wrong_type(self):
+        events = self._good()
+        events[1]["seq"] = "one"
+        assert any("seq" in p for p in validate_trace(events))
+
+    def test_seq_must_strictly_increase(self):
+        events = self._good()
+        events[2]["seq"] = events[1]["seq"]
+        assert any("not greater" in p for p in validate_trace(events))
+
+    def test_ts_must_not_go_backwards_within_trace(self):
+        events = self._good()
+        events[1]["ts"] = 0.5  # trace "x" goes 1.0 -> 0.5
+        problems = validate_trace(events)
+        assert any("moves backwards" in p for p in problems)
+
+    def test_ts_may_interleave_across_traces(self):
+        # x@1.0, x@2.0, y@0.5 — fine: ordering is per-trace.
+        assert validate_trace(self._good()) == []
+
+    def test_bad_shard_shape(self):
+        events = self._good()
+        events[0]["shard"] = {"index": "zero"}
+        problems = validate_trace(events)
+        assert any("shard field" in p for p in problems)
+
+    def test_unserialisable_data(self):
+        events = self._good()
+        events[0]["data"] = {"obj": object()}
+        assert any("JSON" in p for p in validate_trace(events))
+
+    def test_non_dict_event(self):
+        assert any("not an object" in p for p in validate_trace(["nope"]))
+
+
+class TestGroupingAndStripping:
+    def test_group_by_trace_keeps_stream_order(self):
+        t = Tracer()
+        t.emit("a", trace_id="x")
+        t.emit("b", trace_id="y")
+        t.emit("c", trace_id="x")
+        groups = group_by_trace(t.to_list())
+        assert [e["kind"] for e in groups["x"]] == ["a", "c"]
+        assert [e["kind"] for e in groups["y"]] == ["b"]
+
+    def test_strip_volatile_removes_run_variant_fields(self):
+        event = {"seq": 9, "wall": 123.4, "kind": "k", "trace_id": "x",
+                 "ts": 1.0, "data": {"a": 1}, "shard": {"index": 0}}
+        assert strip_volatile(event) == {
+            "kind": "k", "trace_id": "x", "ts": 1.0, "data": {"a": 1}}
+
+
+class TestTraceExporters:
+    def _events(self):
+        t = Tracer()
+        with t.context("alpha"):
+            t.emit("one", sim_time=0.0)
+            t.emit("two", sim_time=10.0)
+        t.emit("three", trace_id="beta", sim_time=5.0, note="hi")
+        return t.to_list()
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        events = self._events()
+        assert write_trace_jsonl(events, path) == 3
+        assert read_trace_jsonl(path) == events
+
+    def test_timeline_mentions_each_trace(self):
+        text = render_timeline(self._events())
+        assert "alpha" in text and "beta" in text
+        assert "2 traces" in text
+
+    def test_timeline_handles_no_stamped_events(self):
+        assert "no sim-time-stamped" in render_timeline(
+            [{"seq": 0, "wall": 0.0, "kind": "k"}])
+
+    def test_chrome_trace_shapes(self):
+        events = self._events()
+        events[2]["shard"] = {"index": 4, "kind": "bg", "key": "bg"}
+        out = chrome_trace_events(events)
+        slices = [e for e in out if e["ph"] == "X"]
+        instants = [e for e in out if e["ph"] == "i"]
+        assert {s["name"] for s in slices} == {"alpha", "beta"}
+        assert len(instants) == 3
+        beta = next(s for s in slices if s["name"] == "beta")
+        assert beta["pid"] == 4  # shard index becomes the pid
+        alpha = next(s for s in slices if s["name"] == "alpha")
+        assert alpha["ts"] == 0.0 and alpha["dur"] == pytest.approx(10e6)
+
+
+class TestPrometheusExport:
+    def test_sections_render(self):
+        m = Metrics()
+        m.inc("store.sessions_appended", 7)
+        m.gauge_set("shards.count", 3)
+        for v in (1.0, 2.0, 3.0):
+            m.observe("lat", v)
+        with m.span("generate"):
+            pass
+        text = render_prometheus(m)
+        assert "# TYPE repro_store_sessions_appended counter" in text
+        assert "repro_store_sessions_appended 7" in text
+        assert "# TYPE repro_shards_count gauge" in text
+        assert 'repro_lat{quantile="0.5"} 2' in text
+        assert "repro_lat_sum 6" in text
+        assert "repro_lat_count 3" in text
+        assert "repro_span_generate_seconds" in text
+
+    def test_names_are_sanitised(self):
+        m = Metrics()
+        m.inc("farm.alerts.fresh-hash")
+        text = render_prometheus(m)
+        assert "repro_farm_alerts_fresh_hash 1" in text
+
+
+class TestInstrumentedPaths:
+    def test_session_events_carry_session_trace_id(self):
+        from repro.honeypot.honeypot import Honeypot, HoneypotConfig
+        from repro.honeypot.session import SessionConfig
+
+        pot = Honeypot(HoneypotConfig(
+            honeypot_id="hp-test", ip=0x01020304, country="US", asn=1,
+            session_config=SessionConfig()))
+        tracer = Tracer()
+        with use_tracer(tracer):
+            session = pot.accept(0x05060708, 40000, 22, now=0.0)
+            session.try_login("root", "root", now=1.0)  # rejected password
+            session.try_login("root", "password", now=2.0)
+            session.input_line("uname -a", now=3.0)
+            session.client_disconnect(4.0)
+        events = tracer.to_list()
+        assert validate_trace(events) == []
+        kinds = [e["kind"] for e in events]
+        assert kinds == [
+            "honeypot.session.connect",
+            "honeypot.login.failed",
+            "honeypot.login.success",
+            "honeypot.command.input",
+            "honeypot.session.closed",
+        ]
+        expected = f"session:{session.session_id}"
+        assert {e["trace_id"] for e in events} == {expected}
+        assert all(e["data"]["sensor"] == "hp-test" for e in events)
+
+    def test_engine_dispatch_reenters_schedule_time_context(self):
+        from repro.simulation.engine import SimulationEngine
+
+        tracer = Tracer()
+        order = []
+        with use_tracer(tracer):
+            engine = SimulationEngine()
+            with tracer.context("conn-a"):
+                engine.schedule_at(2.0, lambda: order.append("a"), label="a")
+            with tracer.context("conn-b"):
+                engine.schedule_at(1.0, lambda: order.append("b"), label="b")
+            cancelled = engine.schedule_at(3.0, lambda: order.append("c"))
+            cancelled.cancel()
+            engine.run()
+        assert order == ["b", "a"]
+        dispatches = [e for e in tracer.to_list()
+                      if e["kind"] == "engine.dispatch"]
+        assert [(e["trace_id"], e["ts"]) for e in dispatches] == [
+            ("conn-b", 1.0), ("conn-a", 2.0)]
+        cancels = [e for e in tracer.to_list()
+                   if e["kind"] == "engine.cancel"]
+        assert len(cancels) == 1
+
+    def test_untraced_run_emits_nothing(self):
+        from repro.simulation.engine import SimulationEngine
+
+        with use_tracer(None):
+            engine = SimulationEngine()
+            engine.schedule_at(1.0, lambda: None)
+            engine.run()
+            assert get_tracer() is None
+
+
+class TestWorkerCountInvariance:
+    """The tentpole contract: traces are identical for every worker count.
+
+    Per-trace event sequences (minus ``seq``/``wall``/``shard`` — the
+    volatile fields) must match between workers=1 and workers=2; the only
+    permitted difference is run metadata (the ``workers`` field of the
+    untraced ``generate.merged`` event).
+    """
+
+    @pytest.fixture(scope="class")
+    def traces(self):
+        import repro.workload.shards as shards
+        from repro.obs import use_metrics
+        from repro.workload import ScenarioConfig
+        from repro.workload.shards import generate_sharded
+
+        config = ScenarioConfig(scale=1 / 40000, seed=7, hash_scale=0.004)
+        out = {}
+        for workers in (1, 2):
+            shards._PLAN = None
+            tracer = Tracer(capacity=1 << 20)
+            with use_metrics(), use_tracer(tracer):
+                generate_sharded(config, workers=workers)
+            out[workers] = tracer.to_list()
+        return out
+
+    def test_traces_are_schema_valid(self, traces):
+        for workers, events in traces.items():
+            assert events, f"workers={workers} recorded nothing"
+            assert validate_trace(events) == []
+
+    def test_per_trace_sequences_match(self, traces):
+        normal = {}
+        for workers, events in traces.items():
+            normal[workers] = {
+                tid: [strip_volatile(e) for e in evs]
+                for tid, evs in group_by_trace(events).items()
+                if tid is not None
+            }
+        assert set(normal[1]) == set(normal[2])
+        for tid in normal[1]:
+            assert normal[1][tid] == normal[2][tid], f"trace {tid} diverged"
+
+    def test_only_run_metadata_differs_untraced(self, traces):
+        def untraced(events):
+            out = []
+            for e in group_by_trace(events).get(None, []):
+                e = strip_volatile(e)
+                data = dict(e.get("data", {}))
+                data.pop("workers", None)
+                e["data"] = data
+                out.append(e)
+            return out
+
+        assert untraced(traces[1]) == untraced(traces[2])
+
+    def test_shard_provenance_attached_under_workers(self, traces):
+        for events in traces.values():
+            with_shard = [e for e in events if "shard" in e]
+            assert with_shard
+            for e in with_shard:
+                assert set(e["shard"]) >= {"index", "kind", "key"}
+
+
+class TestTrajectory:
+    def _metrics(self, sessions=1000, wall=2.0):
+        return {
+            "counters": {"store.sessions_appended": sessions},
+            "spans": {
+                "generate": {"count": 1, "wall": wall, "cpu": wall},
+                "generate/emit": {"count": 1, "wall": wall * 0.8,
+                                  "cpu": wall * 0.8},
+                "generate/emit/shard/bg_cmd": {"count": 5, "wall": 0.5,
+                                               "cpu": 0.5},
+                "report": {"count": 1, "wall": 0.1, "cpu": 0.1},
+            },
+        }
+
+    def test_append_and_load_round_trip(self, tmp_path):
+        from repro.obs.trajectory import append_record, load_trajectory
+
+        path = tmp_path / "traj.json"
+        record = append_record(path, self._metrics(), commit="abc1234",
+                               context={"scale": "40000"})
+        assert record["sessions_per_second"] == pytest.approx(500.0)
+        assert record["commit"] == "abc1234"
+        assert record["context"] == {"scale": "40000"}
+        # depth<=2 stage spans only: the shard leaf is excluded.
+        assert "generate/emit" in record["stage_seconds"]
+        assert "generate/emit/shard/bg_cmd" not in record["stage_seconds"]
+        [loaded] = load_trajectory(path)
+        assert loaded == json.loads(json.dumps(record))
+
+    def test_regression_detected_beyond_threshold(self, tmp_path):
+        from repro.obs.trajectory import (
+            append_record,
+            check_regression,
+            load_trajectory,
+        )
+
+        path = tmp_path / "traj.json"
+        append_record(path, self._metrics(sessions=1000, wall=1.0), commit="a")
+        append_record(path, self._metrics(sessions=1000, wall=2.0), commit="b")
+        message = check_regression(load_trajectory(path), threshold=0.2)
+        assert message is not None and "regressed" in message
+
+    def test_small_slowdown_passes(self, tmp_path):
+        from repro.obs.trajectory import (
+            append_record,
+            check_regression,
+            load_trajectory,
+        )
+
+        path = tmp_path / "traj.json"
+        append_record(path, self._metrics(wall=1.0), commit="a")
+        append_record(path, self._metrics(wall=1.1), commit="b")
+        assert check_regression(load_trajectory(path), threshold=0.2) is None
+
+    def test_non_generation_runs_never_compare(self, tmp_path):
+        from repro.obs.trajectory import (
+            append_record,
+            check_regression,
+            load_trajectory,
+        )
+
+        path = tmp_path / "traj.json"
+        append_record(path, self._metrics(wall=1.0), commit="a")
+        append_record(path, {"counters": {}, "spans": {}}, commit="b")
+        records = load_trajectory(path)
+        assert records[-1]["sessions_per_second"] is None
+        assert check_regression(records, threshold=0.2) is None
+
+    def test_cli_appends_and_gates(self, tmp_path, capsys):
+        from repro.obs import dump_json
+        from repro.obs.trajectory import main
+
+        metrics_path = tmp_path / "m.json"
+        out_path = tmp_path / "traj.json"
+        m = Metrics()
+        m.inc("store.sessions_appended", 100)
+        with m.span("generate"):
+            pass
+        m.spans["generate"]["wall"] = 0.5
+        dump_json(m, str(metrics_path))
+        assert main(["--metrics", str(metrics_path), "--out", str(out_path),
+                     "--commit", "c1", "--context", "scale=40000",
+                     "--fail-threshold", "0.2"]) == 0
+        # A second run 10x slower trips the gate.
+        m.spans["generate"]["wall"] = 5.0
+        dump_json(m, str(metrics_path))
+        assert main(["--metrics", str(metrics_path), "--out", str(out_path),
+                     "--commit", "c2", "--fail-threshold", "0.2"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
