@@ -14,6 +14,36 @@ python -m pytest -x -q
 SCRATCH="$(mktemp -d)"
 trap 'rm -rf "$SCRATCH"' EXIT
 
+echo "== determinism & invariant lint (repro.lint) =="
+python -m repro lint src
+
+echo "== lint self-check (a seeded violation must fail the gate) =="
+mkdir -p "$SCRATCH/seeded"
+printf 'import random\n\ndef pick(xs):\n    return random.choice(xs)\n' \
+    > "$SCRATCH/seeded/workload_patch.py"
+if python -m repro lint "$SCRATCH/seeded" --no-baseline > /dev/null 2>&1; then
+    echo "lint self-check FAILED: seeded 'import random' was not flagged"
+    exit 1
+fi
+echo "lint self-check ok (seeded violation rejected)"
+
+# Third-party tooling is optional in this container: gate on availability
+# so the pipeline stays runnable offline, but never silently skip.
+echo "== ruff (gated on availability) =="
+if command -v ruff > /dev/null 2>&1; then
+    ruff check src tests
+    ruff format --check src/repro/lint src/repro/obs
+else
+    echo "ruff not installed; skipping (pip install -e '.[dev]' to enable)"
+fi
+
+echo "== mypy (gated on availability) =="
+if command -v mypy > /dev/null 2>&1; then
+    mypy src/repro/lint src/repro/obs
+else
+    echo "mypy not installed; skipping (pip install -e '.[dev]' to enable)"
+fi
+
 echo "== sharded generation smoke (validate, 2 workers, with metrics + trace) =="
 python -m repro validate --scale 40000 --workers 2 \
     --metrics "$SCRATCH/ci_metrics.json" --trace "$SCRATCH/ci_trace.jsonl" \

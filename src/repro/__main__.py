@@ -460,6 +460,14 @@ def main(argv=None) -> int:
     _add_load_arg(p_validate)
     p_validate.set_defaults(func=cmd_validate)
 
+    p_lint = sub.add_parser(
+        "lint", help="determinism & invariant linter (static analysis; "
+                     "see DESIGN 6e)")
+    from repro.lint.cli import add_lint_arguments, cmd_lint
+
+    add_lint_arguments(p_lint)
+    p_lint.set_defaults(func=cmd_lint)
+
     p_monitor = sub.add_parser(
         "monitor", help="live farm-health monitor (demo scenario, or tail "
                         "a --trace JSONL stream)")

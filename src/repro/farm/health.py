@@ -319,9 +319,12 @@ class FarmHealthMonitor:
         scratch = self._sessions.get(session)
         tag = "unknown"
         if self.intel is not None:
+            # The monitor accepts any duck-typed intel source; a missing
+            # tag_of / value attribute or absent entry means "unknown",
+            # anything else is a real bug and must surface.
             try:
                 tag = self.intel.tag_of(sha).value
-            except Exception:
+            except (AttributeError, KeyError):
                 tag = "unknown"
         notice = FreshHashNotice(
             sha256=sha,

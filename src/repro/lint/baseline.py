@@ -1,0 +1,70 @@
+"""The findings baseline: grandfathered violations, checked in as a file.
+
+A baseline lets the gate turn on while legacy findings still exist: each
+``(path, rule)`` key carries the count of findings accepted at baseline
+time, and the engine subtracts up to that many findings per key before
+failing.  Counts (not line numbers) keep the file stable under unrelated
+edits.  The repository's checked-in baseline (``lint_baseline.json``) is
+empty — every finding the linter knows about has been fixed — but the
+mechanism stays, so a future rule can land before its violations do.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: The default checked-in baseline filename (repo root / lint cwd).
+DEFAULT_BASELINE = "lint_baseline.json"
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Read a baseline file -> ``{"path::rule": count}`` (missing = empty)."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    data = json.loads(p.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a version-{BASELINE_VERSION} lint baseline")
+    counts = data.get("findings", {})
+    return {str(key): int(n) for key, n in counts.items()}
+
+
+def write_baseline(path: Union[str, Path], findings: List[Finding]) -> None:
+    """Accept ``findings`` as the new baseline at ``path``."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.key] = counts.get(f.key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": {key: counts[key] for key in sorted(counts)},
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (unsuppressed, number absorbed by the baseline).
+
+    Findings are absorbed per ``(path, rule)`` key in source order, up to
+    the baselined count; the remainder — new violations — are returned.
+    """
+    remaining = dict(baseline)
+    fresh: List[Finding] = []
+    absorbed = 0
+    for finding in sorted(findings):
+        left = remaining.get(finding.key, 0)
+        if left > 0:
+            remaining[finding.key] = left - 1
+            absorbed += 1
+        else:
+            fresh.append(finding)
+    return fresh, absorbed

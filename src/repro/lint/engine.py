@@ -1,0 +1,140 @@
+"""The lint engine: walk files, run rules, honour suppressions + baseline.
+
+:func:`run_lint` is the library entry point (the CLI and the pytest gate
+are thin wrappers): collect ``*.py`` files under the given paths, parse
+each once, run every rule's visitor over the shared tree, drop findings
+suppressed inline (``# repro: lint-ok[rule]``), then absorb grandfathered
+findings into the baseline.  What remains is what fails CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, default_rules
+from repro.lint.suppressions import collect_suppressions, is_suppressed
+from repro.lint.rules import FileContext
+
+PathLike = Union[str, Path]
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)  # post-everything
+    suppressed: int = 0   # dropped by inline lint-ok comments
+    baselined: int = 0    # absorbed by the baseline file
+    files: int = 0        # files linted
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def iter_python_files(paths: Sequence[PathLike]) -> Iterable[Path]:
+    """All ``*.py`` files under ``paths`` (files pass through), sorted."""
+    out: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            out.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if not (set(p.parts) & _SKIP_DIRS)
+            )
+        elif path.suffix == ".py":
+            out.append(path)
+    return sorted(set(out))
+
+
+def _package_relative(path: Path) -> str:
+    """The path relative to the ``repro`` package root, else the basename.
+
+    ``src/repro/store/npz.py`` -> ``store/npz.py``; files outside the
+    package (fixtures, scratch files) reduce to their basename, which
+    matches no layer allowlist — every layer-scoped rule applies to them.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro" and (i == 0 or parts[i - 1] == "src"):
+            return "/".join(parts[i + 1:])
+    return path.name
+
+
+def _display_path(path: Path) -> str:
+    """Posix path, cwd-relative when possible (stable finding identity)."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    """Lint one file -> (kept findings, suppressed count)."""
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [Finding(display, 1, 0, "unreadable", str(exc), "")], 0
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [Finding(
+            display, exc.lineno or 1, exc.offset or 0,
+            "syntax-error", exc.msg or "syntax error", "",
+        )], 0
+    ctx = FileContext(
+        path=display,
+        rel=_package_relative(path),
+        tree=tree,
+        source=source,
+    )
+    suppressions = collect_suppressions(source)
+    kept: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if is_suppressed(suppressions, finding.line, finding.rule):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def run_lint(
+    paths: Sequence[PathLike],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Union[None, PathLike, Dict[str, int]] = None,
+) -> LintResult:
+    """Lint ``paths`` with ``rules`` (default: all) against ``baseline``.
+
+    ``baseline`` may be a mapping (``{"path::rule": count}``), a path to a
+    baseline JSON file, or None for no baseline.
+    """
+    active: Sequence[Rule] = default_rules() if rules is None else rules
+    if baseline is None:
+        counts: Dict[str, int] = {}
+    elif isinstance(baseline, dict):
+        counts = baseline
+    else:
+        counts = load_baseline(baseline)
+    result = LintResult()
+    all_findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings, suppressed = lint_file(path, active)
+        all_findings.extend(findings)
+        result.suppressed += suppressed
+        result.files += 1
+    result.findings, result.baselined = apply_baseline(all_findings, counts)
+    result.findings.sort()
+    return result

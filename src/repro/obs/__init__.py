@@ -35,10 +35,12 @@ from repro.obs.export import (
 from repro.obs.metrics import (
     Histogram,
     Metrics,
+    Stopwatch,
     get_metrics,
     inc,
     reset_metrics,
     set_metrics,
+    stopwatch,
     use_metrics,
 )
 from repro.obs.trace import (
@@ -52,6 +54,7 @@ from repro.obs.trace import (
 __all__ = [
     "Histogram",
     "Metrics",
+    "Stopwatch",
     "Tracer",
     "chrome_trace_events",
     "dump_chrome_trace",
@@ -67,6 +70,7 @@ __all__ = [
     "reset_metrics",
     "set_metrics",
     "set_tracer",
+    "stopwatch",
     "use_metrics",
     "use_tracer",
     "validate_trace",

@@ -24,7 +24,9 @@ their measurements.
 from __future__ import annotations
 
 import math
-import random
+# Deterministically seeded reservoir sampling (Algorithm R) — not a
+# simulation draw; sim randomness flows through named RngStreams.
+import random  # repro: lint-ok[global-random]
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Optional, Union
@@ -171,6 +173,38 @@ class Histogram:
 
 def _new_span_cell() -> Dict[str, float]:
     return {"count": 0, "wall": 0.0, "cpu": 0.0}
+
+
+class Stopwatch:
+    """An elapsed-wall-time handle — the obs layer's clock for callers.
+
+    Pipeline code outside ``repro.obs`` must not read real time directly
+    (the ``wall-clock`` lint rule; host timing must never leak into
+    results that are a pure function of config + seed).  Code that wants
+    to *measure* itself starts a stopwatch and asks it for the interval,
+    keeping every wall-clock read inside this one auditable layer::
+
+        watch = stopwatch()
+        ...work...
+        metrics.observe("store.freeze_seconds", watch.elapsed())
+    """
+
+    __slots__ = ("_t0",)
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+
+    def elapsed(self) -> float:
+        """Seconds since construction (or the last :meth:`restart`)."""
+        return time.perf_counter() - self._t0
+
+    def restart(self) -> None:
+        self._t0 = time.perf_counter()
+
+
+def stopwatch() -> Stopwatch:
+    """Start and return a :class:`Stopwatch`."""
+    return Stopwatch()
 
 
 class Metrics:

@@ -1,0 +1,172 @@
+"""The declared instrument-name registry.
+
+Every metric counter, gauge, histogram, span path and trace-event kind the
+pipeline emits is declared here, in one place.  ``Metrics`` itself is
+schema-free (any string names a counter), which is what makes ``merge``
+associative — but it also means a typo at one call site silently forks a
+metric into two series that ``Metrics.merge`` will happily fold apart.
+The ``registry-names`` lint rule (:mod:`repro.lint`) closes that hole
+statically: a literal name at an ``inc`` / ``observe`` / ``gauge_set`` /
+``span`` / trace ``emit`` call site must match a declaration below, where
+a trailing ``.*`` (or embedded ``*``) declares a dynamic family whose
+suffix is computed at runtime (``farm.alerts.<kind>``).
+
+Adding an instrument is therefore a two-line change: the call site and
+the declaration.  The declaration doubles as documentation — this module
+is the one answer to "what can appear in a metrics dump?".
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Tuple
+
+#: Monotonic counters (``Metrics.inc`` / ``repro.obs.inc``).
+COUNTERS: Tuple[str, ...] = (
+    "rng.streams_created",
+    "rng.draws",
+    "engine.events_scheduled",
+    "engine.events_dispatched",
+    "engine.events_cancelled",
+    "honeypot.sessions_accepted",
+    "honeypot.sessions_refused",
+    "honeypot.auth_attempts",
+    "honeypot.hashes_recorded",
+    "honeypot.sessions.*",   # per session category
+    "honeypot.timeouts.*",   # per timeout reason
+    "store.sessions_appended",
+    "store.blocks_appended",
+    "store.adopts",
+    "store.sessions_adopted",
+    "store.freezes",
+    "store.npz_saves",
+    "store.npz_saved_sessions",
+    "store.npz_loads",
+    "store.npz_loaded_sessions",
+    "cache.hits",
+    "cache.misses",
+    "cache.stores",
+    "cache.corrupt_entries",
+    "cache.loaded_sessions",
+    "generator.sessions.*",       # per category / "singletons"
+    "generator.days.*",           # per category
+    "generator.spike_sessions.*",  # per category
+    "generator.campaigns_realized",
+    "generator.campaign_days",
+    "generator.campaign_sessions",
+    "shards.emitted",
+    "shards.sessions.*",  # per shard kind
+    "context.*",          # per-property hit/miss + aggregate hits/misses
+    "farm.alerts.*",      # per alert kind
+)
+
+#: Gauges (``gauge_set`` — last value; ``gauge_max`` — high-water mark).
+GAUGES: Tuple[str, ...] = (
+    "engine.heap_depth_max",
+    "shards.count",
+    "shards.workers",
+    "shards.queue_wait_seconds",
+    "store.npz_save_bytes_per_second",
+    "store.npz_load_bytes_per_second",
+)
+
+#: Histograms (``observe`` / ``histogram`` / ``timer``).
+HISTOGRAMS: Tuple[str, ...] = (
+    "store.adopt_seconds",
+    "store.freeze_seconds",
+    "store.npz_save_seconds",
+    "store.npz_load_seconds",
+    "shards.sessions_per_shard",
+    "farm.sessions_per_interval",
+    "farm.mix.*",  # per session category share
+)
+
+#: Span path components as written at ``Metrics.span`` call sites.  Nested
+#: spans build slash-joined paths at runtime ("generate/emit/shard/bg_cmd");
+#: what is declared here is the literal each call site passes.
+SPANS: Tuple[str, ...] = (
+    "generate",
+    "plan",
+    "emit",
+    "merge",
+    "day_buckets",
+    "campaigns",
+    "singletons",
+    "background",
+    "freeze",
+    "shard/*",  # per shard kind (worker-side)
+    "cache/load",
+    "cache/save",
+    "store/save_npz",
+    "store/load_npz",
+    "store/merge",
+    "validate",
+    "report",
+    "intermediates",
+    "tables_4_5_6",
+)
+
+#: Flight-recorder event kinds (``repro.obs.trace.emit`` and
+#: :class:`Tracer`.emit).  The honeypot session kinds mirror
+#: :class:`repro.honeypot.events.EventType` values one-for-one — a unit
+#: test keeps the two in sync.
+TRACE_KINDS: Tuple[str, ...] = (
+    "generator.block",
+    "generate.merged",
+    "shard.emit",
+    "engine.dispatch",
+    "engine.cancel",
+    "collector.summary",
+    "collector.merge",
+    "honeypot.refused",
+    "honeypot.session.connect",
+    "honeypot.client.version",
+    "honeypot.login.success",
+    "honeypot.login.failed",
+    "honeypot.command.input",
+    "honeypot.command.failed",
+    "honeypot.session.file_download",
+    "honeypot.session.file_upload",
+    "honeypot.session.file_created",
+    "honeypot.session.file_modified",
+    "honeypot.session.closed",
+)
+
+#: Instrument family -> declared name tuple (the lint rule's lookup table).
+FAMILIES = {
+    "counter": COUNTERS,
+    "gauge": GAUGES,
+    "histogram": HISTOGRAMS,
+    "span": SPANS,
+    "trace": TRACE_KINDS,
+}
+
+
+def is_declared(name: str, patterns: Tuple[str, ...]) -> bool:
+    """True when ``name`` matches a declaration (exact or ``*`` pattern)."""
+    for pattern in patterns:
+        if "*" in pattern:
+            if fnmatchcase(name, pattern):
+                return True
+        elif name == pattern:
+            return True
+    return False
+
+
+def prefix_may_match(head: str, patterns: Tuple[str, ...]) -> bool:
+    """Could a name starting with literal ``head`` match a declaration?
+
+    This is the static check for dynamic names (f-strings): only the
+    literal head is known, so ``head`` is compared against each pattern's
+    literal prefix (the part before its first ``*``).  Exact declarations
+    match when they start with ``head``.
+    """
+    for pattern in patterns:
+        star = pattern.find("*")
+        literal = pattern if star < 0 else pattern[:star]
+        if star < 0:
+            if pattern.startswith(head):
+                return True
+        elif head.startswith(literal) or literal.startswith(head):
+            return True
+    return False

@@ -12,13 +12,12 @@ exact.
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 from typing import Union
 
 import numpy as np
 
-from repro.obs import get_metrics
+from repro.obs import get_metrics, stopwatch
 from repro.store.interning import StringTable
 from repro.store.records import CommandScript
 from repro.store.store import HashIdColumn, SessionStore
@@ -40,7 +39,7 @@ _TABLES = ("honeypots", "countries", "passwords", "usernames", "hashes",
 
 def save_npz(store: SessionStore, path: PathLike) -> None:
     """Save a store to ``path`` (.npz)."""
-    t0 = time.perf_counter()
+    watch = stopwatch()
     arrays = {name: getattr(store, name) for name in _NUMERIC_COLUMNS}
 
     # The in-memory hash column is already CSR — persist it verbatim.
@@ -63,7 +62,7 @@ def save_npz(store: SessionStore, path: PathLike) -> None:
     metrics = get_metrics()
     metrics.inc("store.npz_saves")
     metrics.inc("store.npz_saved_sessions", len(store))
-    elapsed = time.perf_counter() - t0
+    elapsed = watch.elapsed()
     metrics.observe("store.npz_save_seconds", elapsed)
     if elapsed > 0:
         metrics.gauge_set(
@@ -74,7 +73,7 @@ def save_npz(store: SessionStore, path: PathLike) -> None:
 
 def load_npz(path: PathLike) -> SessionStore:
     """Load a store saved by :func:`save_npz`."""
-    t0 = time.perf_counter()
+    watch = stopwatch()
     path = Path(path)
     with get_metrics().span("store/load_npz"), \
             np.load(path, allow_pickle=True) as data:
@@ -105,7 +104,7 @@ def load_npz(path: PathLike) -> SessionStore:
     metrics = get_metrics()
     metrics.inc("store.npz_loads")
     metrics.inc("store.npz_loaded_sessions", len(store))
-    elapsed = time.perf_counter() - t0
+    elapsed = watch.elapsed()
     metrics.observe("store.npz_load_seconds", elapsed)
     if elapsed > 0:
         metrics.gauge_set(

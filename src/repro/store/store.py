@@ -12,13 +12,12 @@ tuples on the hot path.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.honeypot.session import CloseReason
-from repro.obs import get_metrics, inc as _metric_inc
+from repro.obs import get_metrics, inc as _metric_inc, stopwatch
 from repro.store.interning import StringTable
 from repro.store.records import STORE_COLUMN_DTYPES, CommandScript, SessionRecord
 
@@ -525,21 +524,21 @@ class StoreBuilder:
         be entirely unrelated (merging independently collected stores).
         Remaps are vectorised ``np.take`` gathers over whole columns.
         """
-        t0 = time.perf_counter()
+        watch = stopwatch()
         remap = self._table_remaps(other)
         values, lengths = other._hash_arrays()
         self._adopt_arrays(remap, other._column_arrays(), values, lengths)
-        get_metrics().observe("store.adopt_seconds", time.perf_counter() - t0)
+        get_metrics().observe("store.adopt_seconds", watch.elapsed())
 
     def adopt_store(self, store: "SessionStore") -> None:
         """Append a frozen store's rows, remapping its interned ids."""
-        t0 = time.perf_counter()
+        watch = stopwatch()
         remap = self._table_remaps(store)
         columns = {name: getattr(store, name) for name in STORE_COLUMN_DTYPES}
         self._adopt_arrays(
             remap, columns, store.hash_ids.values, store.hash_ids.lengths
         )
-        get_metrics().observe("store.adopt_seconds", time.perf_counter() - t0)
+        get_metrics().observe("store.adopt_seconds", watch.elapsed())
 
     def build(self) -> "SessionStore":
         """Freeze the accumulated rows into an immutable columnar store.
@@ -547,7 +546,7 @@ class StoreBuilder:
         One concatenate per column; the script-derived ``n_commands`` /
         ``has_uri`` columns are gathered from the interned script table.
         """
-        t0 = time.perf_counter()
+        watch = stopwatch()
         columns = self._column_arrays()
         script_id = columns["script_id"]
         n_commands = np.zeros(self._n_rows, dtype=np.uint16)
@@ -578,7 +577,7 @@ class StoreBuilder:
         )
         metrics = get_metrics()
         metrics.inc("store.freezes")
-        metrics.observe("store.freeze_seconds", time.perf_counter() - t0)
+        metrics.observe("store.freeze_seconds", watch.elapsed())
         return store
 
 

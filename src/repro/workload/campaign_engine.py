@@ -374,14 +374,16 @@ class CampaignEngine:
         if cached is not None:
             return cached
         by_continent: Dict[object, np.ndarray] = {}
-        for continent in set(self.pot_continents):
+        # dict.fromkeys dedups in first-occurrence order — set iteration
+        # order here would leak the hash seed into dict insertion order.
+        for continent in dict.fromkeys(self.pot_continents):
             by_continent[continent] = np.array(
                 [p for p in campaign.pot_subset
                  if self.pot_continents[p] is continent],
                 dtype=np.int32,
             )
         by_country: Dict[str, np.ndarray] = {}
-        for country in set(self.pot_countries):
+        for country in dict.fromkeys(self.pot_countries):
             by_country[country] = np.array(
                 [p for p in campaign.pot_subset
                  if self.pot_countries[p] == country],

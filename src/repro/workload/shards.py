@@ -16,13 +16,12 @@ store is therefore bit-identical for every worker count.
 from __future__ import annotations
 
 import multiprocessing
-import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.obs import get_metrics, use_metrics
+from repro.obs import get_metrics, stopwatch, use_metrics
 from repro.obs import trace as _trace
 from repro.store.store import SessionStore
 from repro.workload.config import ScenarioConfig
@@ -263,7 +262,7 @@ def generate_sharded(
         metrics.gauge_set("shards.workers", workers)
         tracer = _trace.get_tracer()
         want_trace = tracer is not None
-        emit_wall0 = time.perf_counter()
+        emit_watch = stopwatch()
         with metrics.span("emit"):
             tasks = [(config, i, want_trace) for i in range(len(shards))]
             if workers == 1 or len(shards) <= 1:
@@ -271,7 +270,7 @@ def generate_sharded(
             else:
                 with _mp_context().Pool(min(workers, len(shards))) as pool:
                     results = pool.map(_emit_indexed, tasks)
-        emit_wall = time.perf_counter() - emit_wall0
+        emit_wall = emit_watch.elapsed()
         # Fold worker-side metrics back in shard order; their stage
         # timings nest under this span tree.  Worker walls sum over
         # parallel shards, so the per-kind totals can exceed the parent

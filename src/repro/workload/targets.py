@@ -56,13 +56,15 @@ class TargetIndex:
         self.pot_countries = list(pot_countries)
         self.pot_continents = [continent_of(cc) for cc in pot_countries]
         self._by_continent: Dict[Continent, np.ndarray] = {}
-        for continent in set(self.pot_continents):
+        # dict.fromkeys dedups in first-occurrence order — set iteration
+        # order here would leak the hash seed into dict insertion order.
+        for continent in dict.fromkeys(self.pot_continents):
             self._by_continent[continent] = np.array(
                 [i for i, c in enumerate(self.pot_continents) if c is continent],
                 dtype=np.int32,
             )
         self._by_country: Dict[str, np.ndarray] = {}
-        for country in set(self.pot_countries):
+        for country in dict.fromkeys(self.pot_countries):
             self._by_country[country] = np.array(
                 [i for i, cc in enumerate(self.pot_countries) if cc == country],
                 dtype=np.int32,

@@ -1,0 +1,8 @@
+"""bare-except: swallows everything, KeyboardInterrupt included (1 finding)."""
+
+
+def parse_or_none(text):
+    try:
+        return int(text)
+    except:
+        return None

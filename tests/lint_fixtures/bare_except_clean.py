@@ -1,0 +1,8 @@
+"""bare-except: the sanctioned idiom — name what the operation raises."""
+
+
+def parse_or_none(text):
+    try:
+        return int(text)
+    except (TypeError, ValueError):
+        return None

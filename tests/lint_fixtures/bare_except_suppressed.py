@@ -1,0 +1,8 @@
+"""bare-except: same construct, suppressed inline."""
+
+
+def parse_or_none(text):
+    try:
+        return int(text)
+    except:  # repro: lint-ok[bare-except]
+        return None

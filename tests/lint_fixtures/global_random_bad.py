@@ -1,0 +1,11 @@
+"""global-random: stdlib random and numpy.random global state (3 findings)."""
+
+import random
+from random import choice
+
+import numpy as np
+
+
+def jitter(values):
+    np.random.seed(0)
+    return [v + random.random() for v in values] + [choice(values)]

@@ -1,0 +1,8 @@
+"""global-random: the sanctioned idiom — draws from a named RngStream."""
+
+from repro.simulation.rng import RngStream
+
+
+def jitter(values, seed):
+    rng = RngStream(seed, "fixtures.jitter")
+    return [v + rng.random() for v in values]

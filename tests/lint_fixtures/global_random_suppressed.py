@@ -1,0 +1,11 @@
+"""global-random: same constructs, every site suppressed inline."""
+
+import random  # repro: lint-ok[global-random]
+from random import choice  # repro: lint-ok[global-random]
+
+import numpy as np
+
+
+def jitter(values):
+    np.random.seed(0)  # repro: lint-ok[global-random]
+    return [v + random.random() for v in values] + [choice(values)]

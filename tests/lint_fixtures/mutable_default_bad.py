@@ -1,0 +1,11 @@
+"""mutable-default: defaults shared across calls (2 findings)."""
+
+
+def collect(record, acc=[]):
+    acc.append(record)
+    return acc
+
+
+def tally(name, counts={}):
+    counts[name] = counts.get(name, 0) + 1
+    return counts

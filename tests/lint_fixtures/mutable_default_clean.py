@@ -1,0 +1,8 @@
+"""mutable-default: the sanctioned idiom — None default, create inside."""
+
+
+def collect(record, acc=None):
+    if acc is None:
+        acc = []
+    acc.append(record)
+    return acc

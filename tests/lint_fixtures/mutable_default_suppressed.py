@@ -1,0 +1,11 @@
+"""mutable-default: same constructs, suppressed inline."""
+
+
+def collect(record, acc=[]):  # repro: lint-ok[mutable-default]
+    acc.append(record)
+    return acc
+
+
+def tally(name, counts={}):  # repro: lint-ok[mutable-default]
+    counts[name] = counts.get(name, 0) + 1
+    return counts

@@ -1,0 +1,14 @@
+"""registry-names: metric/trace names not declared in repro.obs.names.
+
+Three findings: a typoed counter, an undeclared dynamic family head, and
+an undeclared trace kind.
+"""
+
+from repro.obs import get_metrics, inc
+from repro.obs.trace import emit
+
+
+def record(kind):
+    inc("cache.hitz")
+    get_metrics().inc(f"nope.alerts.{kind}")
+    emit("generator.blok", sessions=1)

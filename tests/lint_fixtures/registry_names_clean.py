@@ -1,0 +1,10 @@
+"""registry-names: declared literals and a declared dynamic family."""
+
+from repro.obs import get_metrics, inc
+from repro.obs.trace import emit
+
+
+def record(kind):
+    inc("cache.hits")
+    get_metrics().inc(f"farm.alerts.{kind}")
+    emit("generator.block", sessions=1)

@@ -1,0 +1,11 @@
+"""registry-names: same constructs, suppressed inline."""
+
+from repro.obs import get_metrics, inc
+from repro.obs.trace import emit
+
+
+def record(kind):
+    inc("cache.hitz")  # repro: lint-ok[registry-names]
+    # repro: lint-ok[registry-names]
+    get_metrics().inc(f"nope.alerts.{kind}")
+    emit("generator.blok", sessions=1)  # repro: lint-ok[registry-names]

@@ -1,0 +1,15 @@
+"""unordered-iter: set iteration feeding ordered output (3 findings)."""
+
+
+def emit_order(sessions):
+    seen = set(sessions)
+    for session in seen:
+        yield session
+
+
+def column(categories):
+    return list(set(categories))
+
+
+def labels(tags):
+    return ",".join({t.lower() for t in tags})

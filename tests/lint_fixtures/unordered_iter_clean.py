@@ -1,0 +1,19 @@
+"""unordered-iter: the sanctioned idioms — sorted / order-preserving dedup.
+
+Membership tests and order-insensitive reductions over sets are fine;
+only iteration that can leak set order is the hazard.
+"""
+
+
+def emit_order(sessions):
+    for session in sorted(set(sessions)):
+        yield session
+
+
+def column(categories):
+    return list(dict.fromkeys(categories))
+
+
+def any_flagged(tags, flagged):
+    flags = set(flagged)
+    return any(t in flags for t in tags)

@@ -1,0 +1,16 @@
+"""unordered-iter: same constructs, suppressed inline."""
+
+
+def emit_order(sessions):
+    seen = set(sessions)
+    for session in seen:  # repro: lint-ok[unordered-iter]
+        yield session
+
+
+def column(categories):
+    return list(set(categories))  # repro: lint-ok[unordered-iter]
+
+
+def labels(tags):
+    # repro: lint-ok[unordered-iter]
+    return ",".join({t.lower() for t in tags})

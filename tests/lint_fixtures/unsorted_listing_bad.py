@@ -1,0 +1,17 @@
+"""unsorted-listing: filesystem-order results in pipeline logic (3 findings)."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def shard_files(root):
+    return [name for name in os.listdir(root) if name.endswith(".npz")]
+
+
+def trace_files(root):
+    return glob.glob(f"{root}/*.jsonl")
+
+
+def bundle_entries(root):
+    return list(Path(root).iterdir())

@@ -1,0 +1,18 @@
+"""unsorted-listing: the sanctioned idiom — sorted(...) at the call site."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def shard_files(root):
+    return [name for name in sorted(os.listdir(root))
+            if name.endswith(".npz")]
+
+
+def trace_files(root):
+    return sorted(glob.glob(f"{root}/*.jsonl"))
+
+
+def bundle_entries(root):
+    return sorted(Path(root).iterdir())

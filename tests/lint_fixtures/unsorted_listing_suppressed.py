@@ -1,0 +1,18 @@
+"""unsorted-listing: same constructs, suppressed inline."""
+
+import glob
+import os
+from pathlib import Path
+
+
+def shard_files(root):
+    # repro: lint-ok[unsorted-listing]
+    return [name for name in os.listdir(root) if name.endswith(".npz")]
+
+
+def trace_files(root):
+    return glob.glob(f"{root}/*.jsonl")  # repro: lint-ok[unsorted-listing]
+
+
+def bundle_entries(root):
+    return list(Path(root).iterdir())  # repro: lint-ok[unsorted-listing]

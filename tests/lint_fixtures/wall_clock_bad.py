@@ -1,0 +1,9 @@
+"""wall-clock: real-time reads in pipeline code (2 findings)."""
+
+import time
+from datetime import datetime
+
+
+def stamp_record(record):
+    record["wall"] = datetime.now().isoformat()
+    return record

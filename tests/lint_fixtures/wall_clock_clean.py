@@ -1,0 +1,10 @@
+"""wall-clock: the sanctioned idiom — obs-layer stopwatch and sim time."""
+
+from repro.obs import get_metrics, stopwatch
+
+
+def timed_merge(merge, *args):
+    watch = stopwatch()
+    result = merge(*args)
+    get_metrics().observe("store.adopt_seconds", watch.elapsed())
+    return result

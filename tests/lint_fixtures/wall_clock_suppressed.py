@@ -1,0 +1,10 @@
+"""wall-clock: same constructs, suppressed (same-line and standalone)."""
+
+import time  # repro: lint-ok[wall-clock]
+from datetime import datetime
+
+
+def stamp_record(record):
+    # repro: lint-ok[wall-clock]
+    record["wall"] = datetime.now().isoformat()
+    return record

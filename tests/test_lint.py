@@ -1,0 +1,314 @@
+"""Unit tests for the determinism & invariant linter (repro.lint).
+
+Every rule family is driven through its fixture triple under
+``tests/lint_fixtures/``: the *bad* snippet must trigger, the
+*suppressed* snippet must be silenced by inline ``# repro: lint-ok``
+comments, and the *clean* snippet (the sanctioned idiom) must pass.  On
+top of that: suppression placement semantics, baseline round-trips, the
+JSON output schema, layer allowlists, registry-name checking (literal and
+dynamic), and the CLI surface.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    Finding,
+    apply_baseline,
+    collect_suppressions,
+    load_baseline,
+    run_lint,
+    select_rules,
+    to_json,
+    write_baseline,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.findings import JSON_SCHEMA_VERSION
+from repro.obs import names as obs_names
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+RULE_IDS = (
+    "global-random",
+    "wall-clock",
+    "unordered-iter",
+    "mutable-default",
+    "bare-except",
+    "unsorted-listing",
+    "registry-names",
+)
+
+#: rule id -> (fixture stem, findings expected from the bad snippet)
+EXPECTED_BAD = {
+    "global-random": ("global_random", 3),
+    "wall-clock": ("wall_clock", 2),
+    "unordered-iter": ("unordered_iter", 3),
+    "mutable-default": ("mutable_default", 2),
+    "bare-except": ("bare_except", 1),
+    "unsorted-listing": ("unsorted_listing", 3),
+    "registry-names": ("registry_names", 3),
+}
+
+
+def _lint_fixture(name: str):
+    return run_lint([FIXTURES / f"{name}.py"], baseline=None)
+
+
+# -- per-rule fixture triples --------------------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_bad_fixture_triggers(rule_id):
+    stem, expected = EXPECTED_BAD[rule_id]
+    result = _lint_fixture(f"{stem}_bad")
+    of_rule = [f for f in result.findings if f.rule == rule_id]
+    assert len(of_rule) == expected, result.findings
+    assert all(f.rule == rule_id for f in result.findings), (
+        "bad fixtures must trigger only their own rule"
+    )
+    for finding in of_rule:
+        assert finding.line > 0
+        assert finding.message
+        assert finding.hint
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_suppressed_fixture_is_silent(rule_id):
+    stem, expected = EXPECTED_BAD[rule_id]
+    result = _lint_fixture(f"{stem}_suppressed")
+    assert result.findings == []
+    assert result.suppressed == expected
+
+
+@pytest.mark.parametrize("rule_id", RULE_IDS)
+def test_clean_fixture_passes(rule_id):
+    stem, _ = EXPECTED_BAD[rule_id]
+    result = _lint_fixture(f"{stem}_clean")
+    assert result.findings == []
+    assert result.suppressed == 0, "clean fixtures need no suppressions"
+
+
+# -- suppression semantics -----------------------------------------------------
+
+
+def test_suppression_same_line_and_standalone():
+    source = (
+        "import time  # repro: lint-ok[wall-clock]\n"
+        "# repro: lint-ok[wall-clock]\n"
+        "from time import perf_counter\n"
+    )
+    sup = collect_suppressions(source)
+    assert sup[1] == frozenset({"wall-clock"})
+    assert sup[3] == frozenset({"wall-clock"})  # standalone covers next line
+
+
+def test_suppression_bare_covers_all_rules_and_lists_split():
+    sup = collect_suppressions("x = 1  # repro: lint-ok\n")
+    assert "*" in sup[1]
+    sup = collect_suppressions("x = 1  # repro: lint-ok[a, b]\n")
+    assert sup[1] == frozenset({"a", "b"})
+
+
+def test_suppression_only_silences_named_rule(tmp_path):
+    bad = tmp_path / "wrong_rule.py"
+    bad.write_text("import time  # repro: lint-ok[bare-except]\n")
+    result = run_lint([bad], baseline=None)
+    assert [f.rule for f in result.findings] == ["wall-clock"]
+
+
+# -- layer allowlists ----------------------------------------------------------
+
+
+def test_obs_layer_may_read_time(tmp_path):
+    obs = tmp_path / "src" / "repro" / "obs"
+    obs.mkdir(parents=True)
+    (obs / "timing.py").write_text("import time\n")
+    assert run_lint([obs], baseline=None).findings == []
+
+
+def test_store_layer_may_not_read_time(tmp_path):
+    store = tmp_path / "src" / "repro" / "store"
+    store.mkdir(parents=True)
+    (store / "fastpath.py").write_text("import time\n")
+    findings = run_lint([store], baseline=None).findings
+    assert [f.rule for f in findings] == ["wall-clock"]
+
+
+def test_rng_module_may_use_numpy_random(tmp_path):
+    sim = tmp_path / "src" / "repro" / "simulation"
+    sim.mkdir(parents=True)
+    (sim / "rng.py").write_text(
+        "import numpy as np\n"
+        "gen = np.random.Generator(np.random.PCG64(7))\n"
+    )
+    assert run_lint([sim], baseline=None).findings == []
+
+
+# -- baseline ------------------------------------------------------------------
+
+
+def test_baseline_roundtrip_absorbs_known_findings(tmp_path):
+    bad = FIXTURES / "mutable_default_bad.py"
+    fresh = run_lint([bad], baseline=None)
+    assert len(fresh.findings) == 2
+
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, fresh.findings)
+    loaded = load_baseline(baseline_file)
+    assert sum(loaded.values()) == 2
+
+    absorbed = run_lint([bad], baseline=baseline_file)
+    assert absorbed.findings == []
+    assert absorbed.baselined == 2
+
+
+def test_baseline_reports_only_new_findings():
+    old = Finding("pkg/x.py", 3, 0, "bare-except", "bare `except:`")
+    new = Finding("pkg/x.py", 9, 0, "bare-except", "bare `except:`")
+    other = Finding("pkg/y.py", 1, 0, "wall-clock", "import of `time`")
+    fresh, absorbed = apply_baseline(
+        [new, old, other], {"pkg/x.py::bare-except": 1}
+    )
+    # One x.py finding absorbed (first in source order), the rest survive.
+    assert absorbed == 1
+    assert fresh == [Finding("pkg/x.py", 9, 0, "bare-except", "bare `except:`"),
+                     other]
+
+
+def test_missing_baseline_file_is_empty(tmp_path):
+    assert load_baseline(tmp_path / "nope.json") == {}
+
+
+def test_bad_baseline_version_rejected(tmp_path):
+    p = tmp_path / "bad.json"
+    p.write_text('{"version": 99, "findings": {}}')
+    with pytest.raises(ValueError):
+        load_baseline(p)
+
+
+# -- JSON output schema --------------------------------------------------------
+
+
+def test_json_output_schema_is_stable():
+    result = _lint_fixture("bare_except_bad")
+    payload = json.loads(to_json(result.findings, baselined=result.baselined))
+    assert set(payload) == {"version", "findings", "counts", "total",
+                            "baselined"}
+    assert payload["version"] == JSON_SCHEMA_VERSION == 1
+    assert payload["total"] == 1
+    assert payload["counts"] == {"bare-except": 1}
+    (finding,) = payload["findings"]
+    assert set(finding) == {"path", "line", "col", "rule", "message", "hint"}
+    assert finding["rule"] == "bare-except"
+    assert finding["line"] == 7
+
+
+# -- registry names ------------------------------------------------------------
+
+
+def test_every_honeypot_event_kind_is_declared():
+    from repro.honeypot.events import EventType
+
+    for event_type in EventType:
+        assert obs_names.is_declared(
+            event_type.value, obs_names.TRACE_KINDS
+        ), f"EventType.{event_type.name} missing from obs.names.TRACE_KINDS"
+
+
+def test_is_declared_exact_and_wildcard():
+    assert obs_names.is_declared("cache.hits", obs_names.COUNTERS)
+    assert obs_names.is_declared("farm.alerts.rate-drift", obs_names.COUNTERS)
+    assert not obs_names.is_declared("cache.hitz", obs_names.COUNTERS)
+
+
+def test_prefix_may_match_dynamic_heads():
+    assert obs_names.prefix_may_match("farm.alerts.", obs_names.COUNTERS)
+    assert obs_names.prefix_may_match("generator.sessions.", obs_names.COUNTERS)
+    assert not obs_names.prefix_may_match("nope.alerts.", obs_names.COUNTERS)
+
+
+def test_registry_rule_ignores_non_instrument_calls(tmp_path):
+    p = tmp_path / "not_metrics.py"
+    p.write_text(
+        "class Q:\n"
+        "    def emit(self, kind):\n"
+        "        return kind\n"
+        "def f(q, hist):\n"
+        "    hist.observe(0.5)\n"       # float arg: not a name
+        "    return q\n"
+    )
+    result = run_lint([p], rules=select_rules(["registry-names"]),
+                      baseline=None)
+    assert result.findings == []
+
+
+# -- rule selection ------------------------------------------------------------
+
+
+def test_select_rules_unknown_id_raises():
+    with pytest.raises(ValueError):
+        select_rules(["no-such-rule"])
+
+
+def test_rules_filter_limits_findings():
+    bad = FIXTURES / "global_random_bad.py"
+    only_wall = run_lint([bad], rules=select_rules(["wall-clock"]),
+                         baseline=None)
+    assert only_wall.findings == []
+
+
+# -- syntax errors -------------------------------------------------------------
+
+
+def test_syntax_error_is_reported_as_finding(tmp_path):
+    p = tmp_path / "broken.py"
+    p.write_text("def f(:\n")
+    result = run_lint([p], baseline=None)
+    assert [f.rule for f in result.findings] == ["syntax-error"]
+
+
+# -- CLI -----------------------------------------------------------------------
+
+
+def test_cli_exit_codes_and_json(capsys):
+    bad = str(FIXTURES / "bare_except_bad.py")
+    clean = str(FIXTURES / "bare_except_clean.py")
+
+    assert lint_main([clean, "--no-baseline"]) == 0
+    capsys.readouterr()
+
+    assert lint_main([bad, "--no-baseline", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["total"] == 1
+
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in RULE_IDS:
+        assert rule_id in out
+
+    assert lint_main([bad, "--rules", "no-such-rule"]) == 2
+
+
+def test_cli_write_baseline_roundtrip(tmp_path, capsys):
+    bad = str(FIXTURES / "unsorted_listing_bad.py")
+    baseline = str(tmp_path / "baseline.json")
+    assert lint_main([bad, "--baseline", baseline, "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert lint_main([bad, "--baseline", baseline]) == 0
+    assert lint_main([bad, "--no-baseline"]) == 1
+
+
+def test_repro_cli_lint_subcommand():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "lint",
+         str(FIXTURES / "wall_clock_bad.py"), "--no-baseline"],
+        capture_output=True, text=True, cwd=REPO_ROOT,
+        env={"PYTHONPATH": "src", "PATH": "/usr/bin:/bin"},
+    )
+    assert proc.returncode == 1
+    assert "wall-clock" in proc.stdout

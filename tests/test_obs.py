@@ -475,3 +475,26 @@ class TestWorkerMetricsMerge:
             hist = metrics.histograms["shards.sessions_per_shard"]
             assert hist.count == metrics.counter("shards.emitted")
             assert hist.total == metrics.counter("store.sessions_appended")
+
+
+class TestStopwatch:
+    """Stopwatch is the only sanctioned clock outside the obs layer."""
+
+    def test_elapsed_is_monotone_nonnegative(self):
+        from repro.obs import stopwatch
+
+        watch = stopwatch()
+        first = watch.elapsed()
+        second = watch.elapsed()
+        assert first >= 0.0
+        assert second >= first
+
+    def test_restart_resets_origin(self):
+        from repro.obs import Stopwatch
+
+        watch = Stopwatch()
+        for _ in range(10_000):
+            pass
+        drained = watch.elapsed()
+        watch.restart()
+        assert watch.elapsed() <= drained + 1.0
