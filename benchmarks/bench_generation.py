@@ -15,11 +15,12 @@ import time
 
 import pytest
 
-from common import echo, heading
+from common import echo, heading, workers_from_env
 
+import repro
 from repro.store.npz import load_npz, save_npz
 from repro.store.store import StoreBuilder
-from repro.workload import ScenarioConfig, generate_dataset
+from repro.workload import ScenarioConfig
 from repro.workload.cache import DatasetCache, dataset_fingerprint
 
 GEN_DENOMINATOR = int(os.environ.get("REPRO_BENCH_GEN_SCALE", 4000))
@@ -34,7 +35,7 @@ def gen_config() -> ScenarioConfig:
 
 @pytest.fixture(scope="module")
 def gen_dataset():
-    return generate_dataset(gen_config())
+    return repro.generate(gen_config(), backend="serial")
 
 
 def _run(benchmark, fn, rounds: int = 3):
@@ -61,12 +62,35 @@ def _run(benchmark, fn, rounds: int = 3):
 
 def test_generation_throughput(benchmark):
     """Sessions/second of the full serial generation pipeline."""
-    result, seconds = _run(benchmark, lambda: generate_dataset(gen_config()))
+    result, seconds = _run(
+        benchmark, lambda: repro.generate(gen_config(), backend="serial")
+    )
     rate = len(result.store) / seconds
     benchmark.extra_info["sessions"] = len(result.store)
     benchmark.extra_info["sessions_per_second"] = round(rate)
     heading("generation throughput",
             f"1/{GEN_DENOMINATOR} scale, serial pipeline")
+    echo(f"  {len(result.store):,} sessions at {rate:,.0f} sessions/s")
+
+
+def test_scheduled_pool_throughput(benchmark):
+    """Sessions/second of the scheduler's multiprocess pool backend.
+
+    Worker count comes from ``REPRO_WORKERS`` (default 2) so the same
+    harness measures any pool size; compare against the serial number
+    above to see the scheduling + IPC overhead and parallel speedup.
+    """
+    workers = workers_from_env() or 2
+    result, seconds = _run(
+        benchmark,
+        lambda: repro.generate(gen_config(), backend="pool", workers=workers),
+    )
+    rate = len(result.store) / seconds
+    benchmark.extra_info["sessions"] = len(result.store)
+    benchmark.extra_info["sessions_per_second"] = round(rate)
+    benchmark.extra_info["workers"] = workers
+    heading("scheduled pool throughput",
+            f"1/{GEN_DENOMINATOR} scale, pool backend, {workers} workers")
     echo(f"  {len(result.store):,} sessions at {rate:,.0f} sessions/s")
 
 
@@ -111,11 +135,13 @@ def test_cache_warm_vs_cold(benchmark, tmp_path_factory):
     cache = DatasetCache(tmp_path_factory.mktemp("dataset-cache"))
 
     t0 = time.perf_counter()
-    cold = generate_dataset(config, cache=cache)  # miss: generate + store
+    # miss: generate + store
+    cold = repro.generate(config, backend="serial", cache=cache)
     cold_seconds = time.perf_counter() - t0
 
     warm, warm_seconds = _run(
-        benchmark, lambda: generate_dataset(config, cache=cache)
+        benchmark,
+        lambda: repro.generate(config, backend="serial", cache=cache),
     )
     assert len(warm.store) == len(cold.store)
     assert cache.entry_dir(dataset_fingerprint(config)).is_dir()

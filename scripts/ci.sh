@@ -44,15 +44,34 @@ else
     echo "mypy not installed; skipping (pip install -e '.[dev]' to enable)"
 fi
 
+echo "== backend matrix smoke (inline / pool / queue byte-identical) =="
+python - <<'PY'
+import repro
+
+config = repro.ScenarioConfig(scale=1 / 80000, seed=7, hash_scale=0.004)
+digests = {
+    name: repro.generate(
+        config, backend=name, workers=2 if name == "pool" else 1
+    ).store.content_digest()
+    for name in ("inline", "pool", "queue")
+}
+if len(set(digests.values())) != 1:
+    raise SystemExit(f"backend matrix diverged: {digests}")
+print(f"backend matrix ok (sha256 {next(iter(digests.values()))[:16]}... x3)")
+PY
+
 echo "== sharded generation smoke (validate, 2 workers, with metrics + trace) =="
 python -m repro validate --scale 40000 --workers 2 \
     --metrics "$SCRATCH/ci_metrics.json" --trace "$SCRATCH/ci_trace.jsonl" \
     2> /dev/null
 
 echo "== benchmark trajectory (append + 20% throughput regression gate) =="
+# workers=2 routes through the scheduler's pool backend, so this entry
+# tracks the scheduled path; the gate compares against the previous run.
 python -m repro.obs.trajectory --metrics "$SCRATCH/ci_metrics.json" \
     --out BENCH_trajectory.json --fail-threshold 0.2 \
-    --context scale=40000 --context workers=2 --context source=ci
+    --context scale=40000 --context workers=2 --context backend=pool \
+    --context source=ci
 
 echo "== flight-recorder smoke (schema-validate the traced run's JSONL) =="
 python -m repro monitor --input "$SCRATCH/ci_trace.jsonl" --validate \

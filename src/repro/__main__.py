@@ -15,11 +15,13 @@ import sys
 
 
 def _scale(value: str) -> float:
-    """Parse ``--scale``: a denominator ("4000") or a fraction ("1/4000").
+    """Parse ``--scale``: canonically a denominator ("4000").
 
-    Values > 1 are downscale denominators vs the paper's 402 M sessions;
-    values in (0, 1] are the session-volume fraction directly.  Both
-    spellings of the same scale produce the same config.
+    The fraction spellings left over from the first CLI ("1/4000",
+    "0.00025") still parse — both spellings of the same scale produce the
+    same config — but are deprecated aliases: the canonical flag is the
+    downscale denominator vs the paper's 402 M sessions, and the alias
+    prints a note pointing at it.
     """
     try:
         if "/" in value:
@@ -31,6 +33,12 @@ def _scale(value: str) -> float:
         raise argparse.ArgumentTypeError("--scale denominator must be nonzero")
     if parsed <= 0:
         raise argparse.ArgumentTypeError("--scale must be positive")
+    if "/" in value or parsed < 1:
+        denominator = 1.0 / parsed
+        spelled = (f"{denominator:g}" if denominator == int(denominator)
+                   else f"{denominator!r}")
+        print(f"note: fractional --scale {value!r} is deprecated; "
+              f"pass the denominator (--scale {spelled})", file=sys.stderr)
     return parsed
 
 
@@ -46,7 +54,24 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="generate with N worker processes (sharded "
                              "mode; output is identical for every N). "
-                             "Default: the single-pass serial generator")
+                             "Default: $REPRO_WORKERS if set, else the "
+                             "single-pass serial generator")
+    parser.add_argument("--backend", default=None,
+                        choices=("serial", "inline", "pool", "queue"),
+                        help="execution backend for generation (see "
+                             "repro.sched; sharded backends are "
+                             "byte-identical). Default: derived from "
+                             "--workers — serial without workers, inline "
+                             "for 1, pool otherwise")
+    parser.add_argument("--trace-file", default=None, metavar="PATH",
+                        help="work-trace JSONL for sharded backends: "
+                             "replayed when PATH exists, recorded there "
+                             "otherwise")
+    parser.add_argument("--queue-root", default=None, metavar="DIR",
+                        help="with --backend queue, spool tasks under DIR "
+                             "so external 'python -m repro.sched.node DIR' "
+                             "workers can service them (default: a fresh "
+                             "temporary spool)")
     parser.add_argument("--metrics", nargs="?", const="-", default=None,
                         metavar="PATH",
                         help="after the command, print the pipeline stage "
@@ -93,84 +118,67 @@ def _config(args):
     )
 
 
-def _load_trace(path: str, config):
-    """Wrap an existing trace file/directory as a HoneyfarmDataset."""
-    from pathlib import Path
+def _run_options(args):
+    """The :class:`repro.api.RunOptions` for a scenario subcommand.
 
-    from repro.workload.io import load_dataset
+    The backend defaults from the worker count the way the pre-façade CLI
+    behaved: no workers -> the serial single-pass generator, one worker ->
+    inline, more -> the multiprocess pool.  ``--workers`` falls back to
+    ``$REPRO_WORKERS`` (the same contract the benchmarks honour).
+    """
+    import os
 
-    p = Path(path)
-    if p.is_dir():
-        return load_dataset(p)
+    from repro.api import RunOptions, WORKERS_ENV_VAR
+    from repro.workload.cache import resolve_cache_dir
 
-    if p.suffix == ".npz":
-        from repro.store.npz import load_npz
-
-        store = load_npz(p)
-    elif path.endswith((".jsonl", ".jsonl.gz")):
-        from repro.store.io import read_jsonl
-
-        store = read_jsonl(p)
-    else:
-        raise SystemExit(
-            f"--load: {path} is neither a dataset directory nor a "
-            ".npz/.jsonl[.gz] trace"
-        )
-
-    # A bare trace carries no deployment/intel sidecar: rebuild the
-    # deployment the way the generator would for this seed, start from an
-    # empty intel database (tables that need it will show zero coverage).
-    from repro.farm.deployment import build_default_deployment
-    from repro.geo.registry import GeoRegistry
-    from repro.intel.database import IntelDatabase
-    from repro.simulation.rng import RngStream
-    from repro.workload.dataset import HoneyfarmDataset
-
-    registry = GeoRegistry()
-    deployment = build_default_deployment(
-        RngStream(config.seed, "workload.deployment"), registry
-    )
-    return HoneyfarmDataset(
-        config=config,
-        store=store,
-        deployment=deployment,
-        registry=registry,
-        intel=IntelDatabase(),
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        workers = int(raw) if raw else None
+    backend = getattr(args, "backend", None)
+    if backend is None:
+        backend = "serial" if workers is None else \
+            ("inline" if workers == 1 else "pool")
+    return RunOptions(
+        backend=backend,
+        workers=workers,
+        cache=resolve_cache_dir(getattr(args, "cache_dir", None)),
+        trace_file=getattr(args, "trace_file", None),
+        queue_root=getattr(args, "queue_root", None),
     )
 
 
 def _dataset(args):
     """The dataset a report-style command should analyse.
 
-    ``--load`` wins (no generation at all); otherwise generate, consulting
-    the fingerprint cache when ``--cache-dir`` or ``$REPRO_CACHE`` names one.
+    ``--load`` wins (no generation at all); otherwise generate through the
+    :mod:`repro.api` façade, consulting the fingerprint cache when
+    ``--cache-dir`` or ``$REPRO_CACHE`` names one.
     """
     config = _config(args)
-    load = getattr(args, "load", None)
-    if load:
-        return _load_trace(load, config)
+    load_path = getattr(args, "load", None)
+    if load_path:
+        from repro.api import load
 
-    from repro.workload import generate_dataset
-    from repro.workload.cache import resolve_cache_dir
+        try:
+            return load(load_path, config)
+        except ValueError as exc:
+            raise SystemExit(f"--load: {exc}")
 
-    cache_dir = resolve_cache_dir(getattr(args, "cache_dir", None))
-    return generate_dataset(config, workers=args.workers, cache=cache_dir)
+    from repro.api import generate
+
+    return generate(config, options=_run_options(args))
 
 
 def cmd_generate(args) -> int:
+    from repro.api import generate
     from repro.store.io import write_jsonl
     from repro.store.npz import save_npz
-    from repro.workload import generate_dataset
-
-    from repro.workload.cache import resolve_cache_dir
 
     config = _config(args)
     print(f"generating {config.total_sessions:,} sessions "
           f"(seed {config.seed}) ...", file=sys.stderr)
-    dataset = generate_dataset(
-        config, workers=args.workers,
-        cache=resolve_cache_dir(getattr(args, "cache_dir", None)),
-    )
+    dataset = generate(config, options=_run_options(args))
     if args.out.endswith((".jsonl", ".jsonl.gz")):
         count = write_jsonl(iter(dataset.store), args.out)
         print(f"wrote {count:,} records to {args.out}")

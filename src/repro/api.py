@@ -1,0 +1,214 @@
+"""The stable public surface: ``repro.generate`` / ``report`` / ``load``.
+
+Five PRs of organic growth scattered entry points across
+``workload.generator.generate_dataset`` (kwarg sprawl),
+``workload.shards.generate_sharded`` (hard-wired pool) and ad-hoc CLI
+plumbing.  This module is the consolidation: one frozen
+:class:`RunOptions` value describes *how* to run (backend, workers,
+cache, work-trace replay), and three functions do the work:
+
+>>> import repro
+>>> dataset = repro.generate(repro.ScenarioConfig(scale=1/4000))
+>>> print(repro.report(dataset))
+
+The old entry points keep working as thin shims that emit
+``DeprecationWarning``.  Everything here routes through
+:mod:`repro.sched`, so the backend seam (``inline`` / ``pool`` /
+``queue``) is the stable contract — stores are byte-identical whichever
+backend runs the shards.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+PathLike = Union[str, Path]
+
+#: ``backend`` spellings :func:`generate` accepts.  ``serial`` is the
+#: original single-pass generator (a distinct, equally valid trace whose
+#: draw order predates sharding); the rest are :mod:`repro.sched`
+#: execution backends over the sharded pipeline.
+GENERATE_BACKENDS = ("serial", "inline", "pool", "queue")
+
+#: Environment variable supplying a default worker count.
+WORKERS_ENV_VAR = "REPRO_WORKERS"
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to run a generation: everything except the scenario itself.
+
+    Frozen so a value can be shared, compared and logged; derive variants
+    with :func:`dataclasses.replace`.  ``workers=None`` defers to the
+    ``REPRO_WORKERS`` environment variable (unset: 1 — except for the
+    ``serial`` backend, which is single-pass by construction).
+    """
+
+    #: Execution backend: one of :data:`GENERATE_BACKENDS`.
+    backend: str = "pool"
+    #: Worker processes (None: ``$REPRO_WORKERS``, else 1).
+    workers: Optional[int] = None
+    #: Dataset cache directory or :class:`~repro.workload.cache.DatasetCache`.
+    cache: Optional[object] = None
+    #: Work-trace JSONL to replay (or record, when absent) — sharded
+    #: backends only.
+    trace_file: Optional[PathLike] = None
+    #: Poisson arrival rate for a freshly built work trace (None: default).
+    arrival_rate: Optional[float] = None
+    #: Spool directory for the ``queue`` backend (None: a private tempdir).
+    queue_root: Optional[PathLike] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in GENERATE_BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {', '.join(GENERATE_BACKENDS)})"
+            )
+        if self.workers is not None and int(self.workers) < 1:
+            raise ValueError("workers must be >= 1")
+
+    def resolved_workers(self) -> int:
+        """The effective worker count: explicit > $REPRO_WORKERS > 1."""
+        if self.workers is not None:
+            return max(1, int(self.workers))
+        raw = os.environ.get(WORKERS_ENV_VAR, "").strip()
+        return max(1, int(raw)) if raw else 1
+
+
+def generate(config=None, *, backend: str = "pool",
+             workers: Optional[int] = None, cache=None,
+             options: Optional[RunOptions] = None, **extra):
+    """Generate one synthetic honeyfarm trace (the stable entry point).
+
+    Either pass ``options`` (a :class:`RunOptions`) or the individual
+    keywords — ``backend``, ``workers``, ``cache``, plus any other
+    :class:`RunOptions` field by name.  The output depends only on the
+    config and the pipeline family (``serial`` vs sharded): every sharded
+    backend and worker count yields byte-identical stores.
+
+    Returns a :class:`~repro.workload.dataset.HoneyfarmDataset`.
+    """
+    from repro.workload.config import ScenarioConfig
+
+    config = config or ScenarioConfig()
+    if options is None:
+        options = RunOptions(backend=backend, workers=workers, cache=cache,
+                             **extra)
+    elif workers is not None or cache is not None or extra or \
+            backend != "pool":
+        raise TypeError("pass either options= or individual keywords, "
+                        "not both")
+
+    cache_obj = fingerprint = None
+    if options.cache is not None:
+        from repro.workload.cache import as_cache, dataset_fingerprint
+
+        cache_obj = as_cache(options.cache)
+        # Only the pipeline family keys the cache: all sharded backends
+        # and worker counts produce the same bytes, so they share entries.
+        family_workers = None if options.backend == "serial" else 1
+        fingerprint = dataset_fingerprint(config, workers=family_workers)
+        cached = cache_obj.load(fingerprint)
+        if cached is not None:
+            return cached
+
+    if options.backend == "serial":
+        from repro.workload.generator import TraceGenerator
+
+        dataset = TraceGenerator(config).run()
+    else:
+        from repro.sched.backends import make_backend
+        from repro.sched.scheduler import generate_scheduled
+
+        resolved = options.resolved_workers()
+        dataset = generate_scheduled(
+            config,
+            backend=make_backend(options.backend, workers=resolved,
+                                 queue_root=options.queue_root),
+            workers=resolved,
+            trace_file=options.trace_file,
+            arrival_rate=options.arrival_rate,
+        )
+
+    if cache_obj is not None:
+        cache_obj.store(fingerprint, dataset)
+    return dataset
+
+
+def report(dataset=None, *, config=None,
+           options: Optional[RunOptions] = None) -> str:
+    """The paper-vs-measured summary for a dataset (generated if needed).
+
+    Pass a dataset, or a config (plus optional :class:`RunOptions`) to
+    generate one first.  Returns the rendered summary string.
+    """
+    if dataset is None:
+        dataset = generate(config, options=options) if options is not None \
+            else generate(config)
+    from repro.core.report import print_summary
+
+    return print_summary(dataset)
+
+
+def load(path: PathLike, config=None):
+    """Wrap an existing trace as a :class:`HoneyfarmDataset`.
+
+    ``path`` is a dataset directory written by
+    :func:`repro.workload.io.save_dataset`, or a bare ``.npz`` /
+    ``.jsonl[.gz]`` trace.  A bare trace carries no deployment/intel
+    sidecar: the deployment is rebuilt the way the generator would for
+    ``config`` (default seed when None) and intel starts empty, so
+    intel-dependent tables show zero coverage.
+    """
+    from repro.workload.config import ScenarioConfig
+    from repro.workload.io import load_dataset
+
+    path_obj = Path(path)
+    if path_obj.is_dir():
+        return load_dataset(path_obj)
+
+    config = config or ScenarioConfig()
+    if path_obj.suffix == ".npz":
+        from repro.store.npz import load_npz
+
+        store = load_npz(path_obj)
+    elif path_obj.name.endswith((".jsonl", ".jsonl.gz")):
+        from repro.store.io import read_jsonl
+
+        store = read_jsonl(path_obj)
+    else:
+        raise ValueError(
+            f"{path}: neither a dataset directory nor a "
+            ".npz/.jsonl[.gz] trace"
+        )
+
+    from repro.farm.deployment import build_default_deployment
+    from repro.geo.registry import GeoRegistry
+    from repro.intel.database import IntelDatabase
+    from repro.simulation.rng import RngStream
+    from repro.workload.dataset import HoneyfarmDataset
+
+    registry = GeoRegistry()
+    deployment = build_default_deployment(
+        RngStream(config.seed, "workload.deployment"), registry
+    )
+    return HoneyfarmDataset(
+        config=config,
+        store=store,
+        deployment=deployment,
+        registry=registry,
+        intel=IntelDatabase(),
+    )
+
+
+__all__ = [
+    "GENERATE_BACKENDS",
+    "RunOptions",
+    "WORKERS_ENV_VAR",
+    "generate",
+    "load",
+    "report",
+]

@@ -49,9 +49,19 @@ class Finding:
         }
 
 
+def location_order(finding: Finding):
+    """The report sort key: (path, line, col, rule).
+
+    Explicit — not dataclass ordering, which would tie-break on message
+    text — so text and JSON output are diff-stable across filesystems and
+    directory-walk orders.
+    """
+    return (finding.path, finding.line, finding.col, finding.rule)
+
+
 def render_text(findings: List[Finding]) -> str:
     """The human report: one line per finding plus a per-rule summary."""
-    lines = [f.render() for f in sorted(findings)]
+    lines = [f.render() for f in sorted(findings, key=location_order)]
     if findings:
         counts: Dict[str, int] = {}
         for f in findings:
@@ -70,7 +80,8 @@ def to_json(findings: List[Finding], baselined: int = 0) -> str:
         counts[f.rule] = counts.get(f.rule, 0) + 1
     payload = {
         "version": JSON_SCHEMA_VERSION,
-        "findings": [f.to_dict() for f in sorted(findings)],
+        "findings": [f.to_dict()
+                     for f in sorted(findings, key=location_order)],
         "counts": {rule: counts[rule] for rule in sorted(counts)},
         "total": len(findings),
         "baselined": baselined,

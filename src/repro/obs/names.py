@@ -58,6 +58,16 @@ COUNTERS: Tuple[str, ...] = (
     "shards.sessions.*",  # per shard kind
     "context.*",          # per-property hit/miss + aggregate hits/misses
     "farm.alerts.*",      # per alert kind
+    # Scheduler accounting (repro.sched).  Physical-scheduling counters:
+    # retries, stragglers and pool resizes legitimately vary with the
+    # backend and worker count — only task totals are invariant.
+    "sched.tasks_submitted",
+    "sched.tasks_completed",
+    "sched.tasks_retried",
+    "sched.duplicates_dropped",
+    "sched.stragglers_requeued",
+    "sched.workers_grown",
+    "sched.workers_shrunk",
 )
 
 #: Gauges (``gauge_set`` — last value; ``gauge_max`` — high-water mark).
@@ -68,6 +78,10 @@ GAUGES: Tuple[str, ...] = (
     "shards.queue_wait_seconds",
     "store.npz_save_bytes_per_second",
     "store.npz_load_bytes_per_second",
+    "sched.arrival_rate",
+    "sched.trace_makespan_virtual",
+    "sched.workers_peak",
+    "sched.backlog_peak",
 )
 
 #: Histograms (``observe`` / ``histogram`` / ``timer``).
@@ -79,6 +93,9 @@ HISTOGRAMS: Tuple[str, ...] = (
     "shards.sessions_per_shard",
     "farm.sessions_per_interval",
     "farm.mix.*",  # per session category share
+    "sched.task_queue_seconds",
+    "sched.task_run_seconds",
+    "sched.task_merge_seconds",
 )
 
 #: Span path components as written at ``Metrics.span`` call sites.  Nested
@@ -95,6 +112,7 @@ SPANS: Tuple[str, ...] = (
     "background",
     "freeze",
     "shard/*",  # per shard kind (worker-side)
+    "sched/trace",
     "cache/load",
     "cache/save",
     "store/save_npz",
@@ -114,6 +132,10 @@ TRACE_KINDS: Tuple[str, ...] = (
     "generator.block",
     "generate.merged",
     "shard.emit",
+    "sched.trace.built",
+    "sched.task.submit",
+    "sched.task.done",
+    "sched.task.retry",
     "engine.dispatch",
     "engine.cancel",
     "collector.summary",

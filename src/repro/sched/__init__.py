@@ -1,0 +1,65 @@
+"""Task-trace shard scheduling with pluggable execution backends.
+
+The generation call path used to hard-wire a ``multiprocessing.Pool``
+inside :mod:`repro.workload.shards`.  This package generalises it into
+three seams:
+
+* :mod:`repro.sched.trace` — the :class:`WorkTrace`: every shard becomes
+  a :class:`ShardTask` with a deterministic, config-seeded exponential
+  inter-arrival offset (Poisson arrivals, the load model of the paper's
+  fifteen-month farm);
+* :mod:`repro.sched.backends` — where tasks run: :class:`InlineBackend`
+  (in-process golden path), :class:`PoolBackend` (elastic self-healing
+  multiprocess pool), :class:`QueueBackend` (file-queue multi-node stub);
+* :mod:`repro.sched.scheduler` — the :class:`Scheduler` policy loop
+  (elastic grow/shrink, bounded retry with backoff, straggler re-queue)
+  and :func:`generate_scheduled`, the backend-parametrised generation
+  entry point.
+
+Scheduling never changes the output: stores are byte-identical across
+backends, worker counts and arrival orders (``tests/test_sched.py``).
+"""
+
+from repro.sched.backends import (
+    BACKEND_NAMES,
+    Backend,
+    BackendError,
+    InlineBackend,
+    PoolBackend,
+    QueueBackend,
+    TaskOutcome,
+    make_backend,
+)
+from repro.sched.scheduler import (
+    Scheduler,
+    SchedulerConfig,
+    SchedulerError,
+    generate_scheduled,
+)
+from repro.sched.trace import (
+    DEFAULT_ARRIVAL_RATE,
+    ShardTask,
+    WorkTrace,
+    build_trace,
+    matches_plan,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "Backend",
+    "BackendError",
+    "DEFAULT_ARRIVAL_RATE",
+    "InlineBackend",
+    "PoolBackend",
+    "QueueBackend",
+    "Scheduler",
+    "SchedulerConfig",
+    "SchedulerError",
+    "ShardTask",
+    "TaskOutcome",
+    "WorkTrace",
+    "build_trace",
+    "generate_scheduled",
+    "make_backend",
+    "matches_plan",
+]

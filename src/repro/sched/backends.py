@@ -1,0 +1,585 @@
+"""Execution backends: where a :class:`~repro.sched.trace.ShardTask` runs.
+
+Three conformance-tested implementations of one contract:
+
+* :class:`InlineBackend` — in-process, synchronous.  The debugging and
+  golden path: every other backend must produce byte-identical stores.
+* :class:`PoolBackend` — a self-healing multiprocess pool.  Workers are
+  long-lived processes fed from a task queue; the pool grows and shrinks
+  on :meth:`Backend.resize`, detects worker death, and resubmission is
+  the scheduler's call (the dead worker's task comes back as an error
+  outcome).
+* :class:`QueueBackend` — a file-queue multi-node stub: tasks serialise
+  to a spool directory, a node loop (:mod:`repro.sched.node`) claims and
+  runs them, and result bundles (npz store + JSON metrics/trace) merge
+  back.  This is the seam for real scale-out — point N machines at the
+  same spool and delete the in-process service call.
+
+The contract is deliberately narrow — ``open`` / ``submit`` / ``collect``
+/ ``resize`` / ``close`` — so the :class:`~repro.sched.scheduler.Scheduler`
+owns every policy decision (elasticity, retry, stragglers) and backends
+own only execution.  All timing uses :func:`repro.obs.stopwatch`; backends
+never read the clock directly.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import queue
+import shutil
+import tempfile
+from abc import ABC, abstractmethod
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import stopwatch
+from repro.sched.trace import ShardTask
+
+#: Env var naming a task index whose first execution attempt must crash
+#: the worker (fault injection for the retry-path tests).  The companion
+#: ``REPRO_SCHED_FAIL_ONCE_DIR`` names a directory of per-index marker
+#: files so the crash happens exactly once.
+FAIL_TASK_ENV = "REPRO_SCHED_FAIL_TASK"
+FAIL_ONCE_DIR_ENV = "REPRO_SCHED_FAIL_ONCE_DIR"
+
+
+@dataclass
+class TaskOutcome:
+    """What came back for one task attempt.
+
+    Either a payload (``store`` + worker-side ``metrics``/``events``) or
+    an ``error`` string — never both.  ``run_seconds`` is the worker-side
+    execution wall; the scheduler derives queueing from it.
+    """
+
+    task: ShardTask
+    attempt: int
+    worker: str
+    store: Any = None
+    metrics: Optional[Dict] = None
+    events: Optional[List[Dict]] = None
+    run_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+class BackendError(RuntimeError):
+    """A backend broke its contract (not a task failure — those are
+
+    :class:`TaskOutcome` errors the scheduler can retry)."""
+
+
+class Backend(ABC):
+    """The execution contract the scheduler drives.
+
+    Lifecycle: ``open`` once, then interleaved ``submit``/``collect``
+    (and optional ``resize``), then ``close``.  ``collect`` returns every
+    finished outcome it can without blocking longer than ``timeout``
+    seconds; a backend with nothing in flight returns immediately.
+    """
+
+    #: Human name, also the CLI spelling (``--backend pool``).
+    name: str = "?"
+    #: Whether :meth:`resize` can actually change capacity.
+    elastic: bool = False
+
+    @abstractmethod
+    def open(self, config, want_trace: bool) -> None:
+        """Bind the backend to a scenario config before any submit."""
+
+    @abstractmethod
+    def submit(self, task: ShardTask, attempt: int = 1) -> None:
+        """Enqueue one task attempt (non-blocking)."""
+
+    @abstractmethod
+    def collect(self, timeout: float = 0.25) -> List[TaskOutcome]:
+        """Finished outcomes, blocking at most ``timeout`` s for the first."""
+
+    def resize(self, workers: int) -> int:
+        """Request a capacity change; returns the size actually in effect."""
+        return self.workers
+
+    @property
+    def workers(self) -> int:
+        """Current execution slots (1 for inline)."""
+        return 1
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release processes/files.  Idempotent."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _emit_task(config, index: int, want_trace: bool):
+    """Run one shard task in this process via the shard kernel."""
+    from repro.workload.shards import _emit_indexed
+
+    return _emit_indexed((config, index, want_trace))
+
+
+def _maybe_fail_once(index: int) -> None:
+    """Fault injection: crash this process once for the configured task."""
+    target = os.environ.get(FAIL_TASK_ENV)
+    if target is None or int(target) != index:
+        return
+    marker_dir = os.environ.get(FAIL_ONCE_DIR_ENV)
+    if not marker_dir:
+        return
+    marker = Path(marker_dir) / f"failed-{index}"
+    if marker.exists():
+        return
+    marker.touch()
+    os._exit(17)
+
+
+# -- inline --------------------------------------------------------------------
+
+
+class InlineBackend(Backend):
+    """Synchronous in-process execution — the golden path.
+
+    ``collect`` runs exactly one pending task per call, so the scheduler
+    loop observes the same submit/collect cadence it would against an
+    asynchronous backend.
+    """
+
+    name = "inline"
+
+    def __init__(self) -> None:
+        self._pending: List[Tuple[ShardTask, int]] = []
+        self._config = None
+        self._want_trace = False
+
+    def open(self, config, want_trace: bool) -> None:
+        self._config = config
+        self._want_trace = want_trace
+
+    def submit(self, task: ShardTask, attempt: int = 1) -> None:
+        self._pending.append((task, attempt))
+
+    def collect(self, timeout: float = 0.25) -> List[TaskOutcome]:
+        if not self._pending:
+            return []
+        task, attempt = self._pending.pop(0)
+        watch = stopwatch()
+        store, metrics, events = _emit_task(
+            self._config, task.index, self._want_trace
+        )
+        return [TaskOutcome(
+            task=task, attempt=attempt, worker="inline", store=store,
+            metrics=metrics, events=events, run_seconds=watch.elapsed(),
+        )]
+
+    def close(self) -> None:
+        self._pending.clear()
+
+
+# -- multiprocess pool ---------------------------------------------------------
+
+
+#: Tasks per pipe message and results per flush.  A worker holds at most
+#: one message's tasks in memory, so half of a full dispatch depth stays
+#: recoverable from the pipe if it dies; flushing every ``_BATCH``
+#: results lets the parent refill while the worker chews the rest.
+_BATCH = 4
+
+
+def _pool_worker_main(worker_id, config, want_trace, task_queue,
+                      result_queue) -> None:
+    """Worker loop: pull task indexes off a private queue, emit shards,
+    ship result batches back on the shared (buffered) result queue.
+
+    Messages are ``("batch", worker_id, [outcome, ...])`` and a final
+    ``("exit", worker_id, [outcome, ...])`` acknowledging the
+    shrink/close sentinel.  Each outcome in a batch is ``("done", index,
+    attempt, payload)`` or ``("error", index, attempt, message)``.
+    Results buffer locally while more tasks wait in the private queue and
+    flush the moment the worker would otherwise idle — so message count
+    scales with scheduling round-trips, not task count, and ``put`` hands
+    off to a feeder thread (the worker never blocks on the parent
+    draining the pipe).  Task accounting lives entirely in the parent (it
+    knows what it dispatched to whom), so no per-task "start" message is
+    needed.
+    """
+    out: list = []
+    local: deque = deque()
+    while True:
+        if not local:
+            item = task_queue.get()
+            if item is None:
+                result_queue.put(("exit", worker_id, out))
+                return
+            local.extend(item)
+            continue
+        index, attempt = local.popleft()
+        _maybe_fail_once(index)
+        watch = stopwatch()
+        try:
+            store, metrics, events = _emit_task(config, index, want_trace)
+        except Exception as exc:  # ships back as a retryable task error
+            out.append(("error", index, attempt,
+                        f"{type(exc).__name__}: {exc}"))
+        else:
+            out.append(("done", index, attempt,
+                        (store, metrics, events, watch.elapsed())))
+        if (not local and task_queue.empty()) or len(out) >= _BATCH:
+            result_queue.put(("batch", worker_id, out))
+            out = []
+
+
+@dataclass
+class _Worker:
+    """Parent-side view of one pool process."""
+
+    proc: multiprocessing.Process
+    task_queue: Any                     # private SimpleQueue, parent -> worker
+    assigned: "OrderedDict[int, int]"   # index -> attempt, dispatch order
+    retiring: bool = False
+
+
+class PoolBackend(Backend):
+    """A self-healing elastic pool of worker processes.
+
+    Workers inherit the parent's shard plan copy-on-write under the fork
+    start method (spawn-started workers rebuild it, identically, on their
+    first task).  Each worker owns a private task pipe and the parent
+    dispatches least-loaded up to :attr:`depth` tasks ahead, so the
+    parent always knows exactly which tasks a worker holds.  A worker
+    that dies is detected by liveness polling: tasks still sitting
+    unread in its pipe are silently recovered and re-dispatched (they
+    never started), the task it was actually executing comes back as an
+    error outcome (the scheduler decides on retry), and a replacement
+    worker is spawned so capacity holds.
+    """
+
+    name = "pool"
+    elastic = True
+
+    #: Tasks dispatched ahead to one worker, in pipe messages of at most
+    #: ``_BATCH``.  Deep enough that a worker flushing results mid-batch
+    #: keeps computing while the parent refills — it never waits on a
+    #: parent round-trip for its next task.  Tasks still unread in the
+    #: pipe are recoverable if the worker dies; only what it had already
+    #: picked up (at most ``_BATCH`` plus unflushed results) is lost.
+    depth = 8
+
+    def __init__(self, workers: int = 1, start_method: Optional[str] = None):
+        self._target = max(1, int(workers))
+        self._start_method = start_method
+        self._workers: Dict[int, _Worker] = {}
+        self._backlog: deque = deque()  # (index, attempt) not yet dispatched
+        self._tasks: Dict[int, ShardTask] = {}
+        self._next_worker_id = 0
+        self._ctx = None
+        self._results = None
+        self._config = None
+        self._want_trace = False
+        self.deaths = 0
+
+    def _context(self):
+        if self._ctx is None:
+            method = self._start_method
+            if method is None:
+                try:
+                    multiprocessing.get_context("fork")
+                    method = "fork"
+                except ValueError:
+                    method = "spawn"
+            self._ctx = multiprocessing.get_context(method)
+        return self._ctx
+
+    def open(self, config, want_trace: bool) -> None:
+        self._config = config
+        self._want_trace = want_trace
+        self._results = self._context().Queue()
+        for _ in range(self._target):
+            self._spawn()
+
+    def _spawn(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        ctx = self._context()
+        task_queue = ctx.SimpleQueue()
+        proc = ctx.Process(
+            target=_pool_worker_main,
+            args=(worker_id, self._config, self._want_trace,
+                  task_queue, self._results),
+            daemon=True,
+        )
+        proc.start()
+        self._workers[worker_id] = _Worker(
+            proc=proc, task_queue=task_queue, assigned=OrderedDict()
+        )
+
+    @property
+    def workers(self) -> int:
+        return sum(1 for w in self._workers.values() if not w.retiring)
+
+    def submit(self, task: ShardTask, attempt: int = 1) -> None:
+        if self._results is None:
+            raise BackendError("submit before open()")
+        self._tasks[task.index] = task
+        self._backlog.append((task.index, attempt))
+
+    def _dispatch(self) -> None:
+        """Feed backlog to live workers, least-loaded first, ``depth`` deep.
+
+        Submissions accumulate in the backlog and ship here in pipe
+        messages of at most ``_BATCH`` tasks per worker, so IPC scales
+        with scheduling rounds rather than tasks.
+        """
+        sends: Dict[int, List[Tuple[int, int]]] = {}
+        while self._backlog:
+            eligible = [
+                (len(w.assigned), wid) for wid, w in self._workers.items()
+                if not w.retiring and len(w.assigned) < self.depth
+            ]
+            if not eligible:
+                break
+            _, worker_id = min(eligible)
+            index, attempt = self._backlog.popleft()
+            self._workers[worker_id].assigned[index] = attempt
+            sends.setdefault(worker_id, []).append((index, attempt))
+        for worker_id in sorted(sends):
+            batch = sends[worker_id]
+            q = self._workers[worker_id].task_queue
+            for lo in range(0, len(batch), _BATCH):
+                q.put(batch[lo:lo + _BATCH])
+
+    def resize(self, workers: int) -> int:
+        workers = max(1, int(workers))
+        while self.workers < workers:
+            self._spawn()
+        for _ in range(self.workers - workers):
+            # Shrink cooperatively: the chosen worker drains what it
+            # already holds, takes the sentinel, and exits.
+            idle_first = min(
+                (len(w.assigned), wid)
+                for wid, w in self._workers.items() if not w.retiring
+            )
+            worker = self._workers[idle_first[1]]
+            worker.retiring = True
+            worker.task_queue.put(None)
+        self._target = workers
+        self._dispatch()
+        return self.workers
+
+    def collect(self, timeout: float = 0.25) -> List[TaskOutcome]:
+        outcomes: List[TaskOutcome] = []
+        self._dispatch()  # ship anything submitted since the last round
+        wait = timeout
+        while True:
+            try:
+                message = (self._results.get(timeout=wait) if wait
+                           else self._results.get_nowait())
+            except queue.Empty:
+                break
+            wait = 0  # drain whatever else already arrived, don't re-block
+            outcomes.extend(self._handle(message))
+        outcomes.extend(self._reap_dead())
+        self._dispatch()
+        return outcomes
+
+    def _handle(self, message) -> List[TaskOutcome]:
+        tag, worker_id, batch = message
+        outcomes: List[TaskOutcome] = []
+        worker = self._workers.get(worker_id)
+        for kind, index, attempt, payload in batch:
+            if worker is not None:
+                worker.assigned.pop(index, None)
+            task = self._tasks[index]
+            if kind == "error":
+                outcomes.append(TaskOutcome(
+                    task=task, attempt=attempt,
+                    worker=f"pool-{worker_id}", error=payload,
+                ))
+                continue
+            store, metrics, events, run_seconds = payload
+            outcomes.append(TaskOutcome(
+                task=task, attempt=attempt, worker=f"pool-{worker_id}",
+                store=store, metrics=metrics, events=events,
+                run_seconds=run_seconds,
+            ))
+        if tag == "exit":
+            if worker is not None:
+                del self._workers[worker_id]
+                worker.proc.join(timeout=5.0)
+        return outcomes
+
+    def _reap_dead(self) -> List[TaskOutcome]:
+        """Recover a dead worker's tasks: re-dispatch what never started,
+        error out what it was executing."""
+        outcomes: List[TaskOutcome] = []
+        for worker_id in sorted(self._workers):
+            worker = self._workers[worker_id]
+            if worker.proc.is_alive():
+                continue
+            proc = worker.proc
+            proc.join(timeout=1.0)
+            del self._workers[worker_id]
+            self.deaths += 1
+            # Tasks still unread in the dead worker's pipe never started;
+            # pull them back and hand them to a living worker — no retry
+            # burned.  Whatever it had actually picked up is lost work.
+            recovered: List[Tuple[int, int]] = []
+            while not worker.task_queue.empty():
+                item = worker.task_queue.get()
+                for pair in item or ():
+                    worker.assigned.pop(pair[0], None)
+                    recovered.append(pair)
+            self._backlog.extendleft(reversed(recovered))
+            for index, attempt in worker.assigned.items():
+                outcomes.append(TaskOutcome(
+                    task=self._tasks[index], attempt=attempt,
+                    worker=f"pool-{worker_id}",
+                    error=f"worker {worker_id} died "
+                          f"(exitcode {proc.exitcode})",
+                ))
+            if not worker.retiring:
+                self._spawn()  # heal: keep capacity at the requested size
+        return outcomes
+
+    def close(self) -> None:
+        for worker in self._workers.values():
+            if not worker.retiring:
+                worker.task_queue.put(None)
+        for worker in self._workers.values():
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=1.0)
+        self._workers.clear()
+        self._backlog.clear()
+        if self._results is not None:
+            self._results.close()
+            self._results = None
+
+
+# -- file-queue (multi-node stub) ----------------------------------------------
+
+
+class QueueBackend(Backend):
+    """File-queue execution: the multi-node scale-out seam, stubbed.
+
+    ``submit`` serialises tasks into ``<root>/tasks/``; any number of
+    node processes (:func:`repro.sched.node.service_pending`, or
+    ``python -m repro.sched.node <root>``) claim task files by atomic
+    rename and write result bundles — the shard store as npz plus a JSON
+    sidecar of metrics/trace events — into ``<root>/results/``.
+    ``collect`` merges whatever bundles have landed.
+
+    As a stub, ``collect`` also services the spool in-process when no
+    external node has: the contract (serialise → execute elsewhere →
+    merge returned bundles) is exercised end-to-end on one machine.
+    """
+
+    name = "queue"
+
+    def __init__(self, root: Optional[Path] = None, service_batch: int = 1,
+                 service_inline: bool = True):
+        #: Spool directory (None: a private temp dir, removed on close).
+        self.root = Path(root) if root is not None else None
+        #: Tasks the stub services per ``collect`` (0 = all pending).
+        self.service_batch = service_batch
+        #: With False the stub never executes; only external nodes do.
+        self.service_inline = service_inline
+        self._owned = False
+        self._seen: set = set()
+        self._tasks: Dict[int, ShardTask] = {}
+        self._submitted = 0
+
+    def open(self, config, want_trace: bool) -> None:
+        from repro.sched import node as _node
+
+        if self.root is None:
+            self.root = Path(tempfile.mkdtemp(prefix="repro-sched-queue-"))
+            self._owned = True
+        else:
+            self.root = Path(self.root)
+        _node.init_spool(self.root, config, want_trace)
+
+    def submit(self, task: ShardTask, attempt: int = 1) -> None:
+        from repro.sched import node as _node
+
+        self._tasks[task.index] = task
+        _node.enqueue_task(self.root, task, attempt)
+        self._submitted += 1
+
+    def collect(self, timeout: float = 0.25) -> List[TaskOutcome]:
+        from repro.sched import node as _node
+
+        if self.service_inline:
+            _node.service_pending(self.root, limit=self.service_batch or None)
+        outcomes: List[TaskOutcome] = []
+        for index, attempt, payload in _node.read_results(
+                self.root, skip=self._seen):
+            self._seen.add((index, attempt))
+            task = self._tasks.get(index)
+            if task is None:
+                # A stale bundle from an earlier run against this spool.
+                continue
+            if payload.get("error"):
+                outcomes.append(TaskOutcome(
+                    task=task, attempt=attempt,
+                    worker=str(payload.get("worker", "node")),
+                    error=str(payload["error"]),
+                ))
+                continue
+            outcomes.append(TaskOutcome(
+                task=task, attempt=attempt,
+                worker=str(payload.get("worker", "node")),
+                store=payload["store"], metrics=payload.get("metrics"),
+                events=payload.get("events"),
+                run_seconds=float(payload.get("run_seconds", 0.0)),
+            ))
+        return outcomes
+
+    def resize(self, workers: int) -> int:
+        from repro.sched import node as _node
+
+        # The stub has no live nodes to scale; record the request so a
+        # real node fleet (or an operator) can act on it.
+        _node.write_desired_nodes(self.root, max(1, int(workers)))
+        return self.workers
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def close(self) -> None:
+        if self._owned and self.root is not None:
+            shutil.rmtree(self.root, ignore_errors=True)
+            self.root = None
+            self._owned = False
+
+
+# -- factory -------------------------------------------------------------------
+
+#: CLI/API backend spellings -> constructor.
+BACKEND_NAMES = ("inline", "pool", "queue")
+
+
+def make_backend(name: str, workers: int = 1,
+                 queue_root: Optional[Path] = None) -> Backend:
+    """A backend instance from its CLI spelling."""
+    if name == "inline":
+        return InlineBackend()
+    if name == "pool":
+        return PoolBackend(workers=workers)
+    if name == "queue":
+        return QueueBackend(root=queue_root)
+    raise ValueError(
+        f"unknown backend {name!r} (expected one of {', '.join(BACKEND_NAMES)})"
+    )

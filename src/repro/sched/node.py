@@ -1,0 +1,229 @@
+"""The file-queue node: claims spooled shard tasks and returns bundles.
+
+One spool directory is one farm-generation job::
+
+    <root>/config.json          scenario config + trace flag (written once)
+    <root>/tasks/               serialized ShardTasks awaiting a node
+    <root>/claimed/             tasks a node owns (claim = atomic rename)
+    <root>/results/             returned bundles: <task>.npz + <task>.json
+    <root>/nodes.json           the scheduler's desired node count (advisory)
+
+Any number of node processes may service the same spool concurrently —
+claiming by atomic rename makes each task run exactly once per attempt,
+and the result sidecar (written last) marks a bundle complete.  Run one
+with::
+
+    python -m repro.sched.node <root> [--max-tasks N]
+
+The :class:`~repro.sched.backends.QueueBackend` stub calls
+:func:`service_pending` in-process, which is byte-for-byte the same code
+path a remote node runs — pointing real machines at a shared spool is
+deployment, not development.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Set, Tuple
+
+from repro.obs import stopwatch
+
+SPOOL_VERSION = 1
+
+_TASKS = "tasks"
+_CLAIMED = "claimed"
+_RESULTS = "results"
+_CONFIG = "config.json"
+_NODES = "nodes.json"
+
+#: Per-process cache of rebuilt scenario configs, keyed by spool root.
+_CONFIG_CACHE: Dict[str, Tuple[object, bool]] = {}
+
+
+def init_spool(root, config, want_trace: bool) -> None:
+    """Create the spool layout and pin the job's scenario config."""
+    root = Path(root)
+    for sub in (_TASKS, _CLAIMED, _RESULTS):
+        (root / sub).mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": SPOOL_VERSION,
+        "want_trace": bool(want_trace),
+        "config": dataclasses.asdict(config),
+    }
+    _atomic_write_text(root / _CONFIG, json.dumps(payload, sort_keys=True))
+    _CONFIG_CACHE.pop(str(root), None)
+
+
+def spool_config(root) -> Tuple[object, bool]:
+    """The spool's (ScenarioConfig, want_trace), cached per process."""
+    from repro.workload.config import ScenarioConfig
+
+    key = str(root)
+    cached = _CONFIG_CACHE.get(key)
+    if cached is None:
+        with open(Path(root) / _CONFIG, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("version") != SPOOL_VERSION:
+            raise ValueError(
+                f"{root}: unsupported spool version {payload.get('version')!r}"
+            )
+        cached = (ScenarioConfig(**payload["config"]),
+                  bool(payload.get("want_trace")))
+        _CONFIG_CACHE[key] = cached
+    return cached
+
+
+def _task_stem(index: int, attempt: int) -> str:
+    return f"task-{index:05d}-a{attempt}"
+
+
+def _parse_stem(stem: str) -> Tuple[int, int]:
+    """(index, attempt) back out of a ``task-00042-a1`` stem."""
+    _, index, attempt = stem.split("-")
+    return int(index), int(attempt[1:])
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)
+
+
+def enqueue_task(root, task, attempt: int = 1) -> Path:
+    """Serialise one task attempt into the spool; returns its file."""
+    root = Path(root)
+    payload = dict(task.to_dict(), attempt=int(attempt))
+    target = root / _TASKS / (_task_stem(task.index, attempt) + ".json")
+    _atomic_write_text(target, json.dumps(payload, sort_keys=True))
+    return target
+
+
+def write_desired_nodes(root, workers: int) -> None:
+    """Record the scheduler's desired node count (advisory for a fleet)."""
+    _atomic_write_text(Path(root) / _NODES,
+                       json.dumps({"desired_nodes": int(workers)}))
+
+
+def claim_next(root) -> Optional[Path]:
+    """Claim the oldest pending task by atomic rename; None when drained."""
+    root = Path(root)
+    for candidate in sorted((root / _TASKS).glob("task-*.json")):
+        claimed = root / _CLAIMED / candidate.name
+        try:
+            candidate.rename(claimed)
+        except OSError:
+            continue  # another node won the claim
+        return claimed
+    return None
+
+
+def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
+    """Execute one claimed task file; returns the result sidecar path.
+
+    The store lands as ``<stem>.npz``; the JSON sidecar (metrics, trace
+    events, run seconds — or an ``error``) is written last, so its
+    presence marks the bundle complete.  Failures stay on this node's
+    ledger as error sidecars; the scheduler decides about retries.
+    """
+    from repro.sched.backends import _emit_task
+    from repro.store.npz import save_npz
+
+    root = Path(root)
+    worker = worker or f"node-{os.getpid()}"
+    with open(claimed, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    index, attempt = int(payload["index"]), int(payload["attempt"])
+    config, want_trace = spool_config(root)
+    stem = _task_stem(index, attempt)
+    sidecar = root / _RESULTS / (stem + ".json")
+    watch = stopwatch()
+    try:
+        store, metrics, events = _emit_task(config, index, want_trace)
+    except Exception as exc:
+        _atomic_write_text(sidecar, json.dumps({
+            "error": f"{type(exc).__name__}: {exc}", "worker": worker,
+        }, sort_keys=True))
+        return sidecar
+    # The tmp name must keep the .npz suffix (numpy appends one otherwise).
+    npz_tmp = root / _RESULTS / (stem + f".tmp{os.getpid()}.npz")
+    save_npz(store, npz_tmp)
+    npz_tmp.replace(root / _RESULTS / (stem + ".npz"))
+    _atomic_write_text(sidecar, json.dumps({
+        "worker": worker,
+        "run_seconds": watch.elapsed(),
+        "sessions": len(store),
+        "metrics": metrics,
+        "events": events,
+    }, sort_keys=True))
+    return sidecar
+
+
+def service_pending(root, limit: Optional[int] = None,
+                    worker: Optional[str] = None) -> int:
+    """Claim and run up to ``limit`` pending tasks (all, when None)."""
+    done = 0
+    while limit is None or done < limit:
+        claimed = claim_next(root)
+        if claimed is None:
+            break
+        run_claimed(root, claimed, worker=worker)
+        done += 1
+    return done
+
+
+def read_results(root, skip: Set[Tuple[int, int]]) -> \
+        Iterator[Tuple[int, int, Dict]]:
+    """Completed bundles not in ``skip``: (index, attempt, payload).
+
+    Successful payloads carry the deserialised store under ``"store"``
+    alongside the sidecar fields; error payloads carry ``"error"``.
+    """
+    from repro.store.npz import load_npz
+
+    results = Path(root) / _RESULTS
+    for sidecar in sorted(results.glob("task-*.json")):
+        index, attempt = _parse_stem(sidecar.stem)
+        if (index, attempt) in skip:
+            continue
+        with open(sidecar, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if not payload.get("error"):
+            payload["store"] = load_npz(sidecar.with_suffix(".npz"))
+        yield index, attempt, payload
+
+
+def main(argv=None) -> int:
+    """``python -m repro.sched.node <root>``: drain the spool once.
+
+    A production fleet would wrap this in a supervisor loop per machine;
+    the one-shot form keeps the stub free of polling/sleeping concerns.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sched.node",
+        description="file-queue honeyfarm shard node: claim and run "
+                    "pending tasks from a scheduler spool directory",
+    )
+    parser.add_argument("root", help="spool directory (see repro.sched)")
+    parser.add_argument("--max-tasks", type=int, default=None,
+                        help="stop after N tasks (default: drain the spool)")
+    parser.add_argument("--worker", default=None,
+                        help="worker id stamped on result bundles")
+    args = parser.parse_args(argv)
+    if not (Path(args.root) / _CONFIG).exists():
+        print(f"error: {args.root} is not an initialised spool "
+              f"(missing {_CONFIG})", file=sys.stderr)
+        return 2
+    done = service_pending(args.root, limit=args.max_tasks,
+                           worker=args.worker)
+    print(f"serviced {done} task(s) from {args.root}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

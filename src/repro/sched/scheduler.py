@@ -1,0 +1,384 @@
+"""The shard scheduler: drain a work trace through an execution backend.
+
+The :class:`Scheduler` owns every policy decision the backends do not:
+
+* **feeding** — tasks are submitted in (virtual) arrival order, windowed
+  so the backend queue stays short enough to react to;
+* **elasticity** — the worker pool grows when the backlog outruns it and
+  shrinks when the trace tail no longer needs it;
+* **retry** — a task that comes back as an error (worker death, node
+  crash) is re-queued with attempt+1 after a backoff measured in collect
+  cycles, up to ``max_attempts``;
+* **stragglers** — optionally, a task in flight far beyond the median
+  completion time is duplicated; the first result wins and late
+  duplicates are dropped.
+
+None of this can change the output: every task's payload is a pure
+function of (config, shard key) via named rng streams, and the merge in
+:func:`generate_scheduled` runs in task-index order.  Scheduling decides
+*when and where* work runs — never what it produces.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.obs import get_metrics, stopwatch
+from repro.obs import trace as _trace
+from repro.sched.backends import Backend, TaskOutcome, make_backend
+from repro.sched.trace import (
+    ShardTask,
+    WorkTrace,
+    build_trace,
+    matches_plan,
+)
+
+
+class SchedulerError(RuntimeError):
+    """The trace could not be drained (exhausted retries or a stall)."""
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Policy knobs for one scheduler run (all output-neutral)."""
+
+    #: Initial worker-pool size.
+    workers: int = 1
+    #: Elastic floor/ceiling (``max_workers=0`` pins the pool at
+    #: ``workers`` — elasticity off).
+    min_workers: int = 1
+    max_workers: int = 0
+    #: Attempts per task before the run fails (1 = no retry).
+    max_attempts: int = 3
+    #: Collect cycles to wait before re-queuing attempt ``n`` (doubles
+    #: per failed attempt — the bounded backoff).
+    retry_backoff_collects: int = 2
+    #: Grow when backlog exceeds this multiple of the current pool.
+    grow_backlog: float = 2.0
+    #: Duplicate a task in flight longer than this multiple of the median
+    #: completion time (0 = stragglers off).
+    straggler_factor: float = 0.0
+    #: Longest single wait for results (seconds, passed to collect()).
+    collect_timeout: float = 0.25
+    #: In-flight ceiling; 0 derives ``8 * max(workers, max_workers)`` —
+    #: enough to keep every pool worker's dispatch pipe full.
+    feed_window: int = 0
+    #: Abort after this many consecutive empty collects with work
+    #: outstanding (a dead backend; ~10 min at the default timeout).
+    stall_collects: int = 2400
+
+    def resolved_max_workers(self) -> int:
+        return self.max_workers if self.max_workers > 0 else self.workers
+
+    def resolved_feed_window(self) -> int:
+        if self.feed_window > 0:
+            return self.feed_window
+        return 8 * max(self.workers, self.resolved_max_workers())
+
+
+class Scheduler:
+    """Drains one :class:`WorkTrace` through one :class:`Backend`."""
+
+    def __init__(self, backend: Backend,
+                 config: Optional[SchedulerConfig] = None):
+        self.backend = backend
+        self.config = config or SchedulerConfig()
+
+    def run(self, trace: WorkTrace, scenario_config,
+            want_trace: bool = False) -> List[TaskOutcome]:
+        """Execute every task; outcomes returned in task-index order.
+
+        Raises :class:`SchedulerError` when a task exhausts its attempts
+        or the backend stalls.  The backend is opened and closed here.
+        """
+        metrics = get_metrics()
+        backend = self.backend
+        backend.open(scenario_config, want_trace)
+        try:
+            return self._drain(trace, metrics)
+        finally:
+            backend.close()
+
+    # -- the drain loop --------------------------------------------------------
+
+    def _drain(self, trace: WorkTrace, metrics) -> List[TaskOutcome]:
+        cfg = self.config
+        backend = self.backend
+        pending: Deque[Tuple[ShardTask, int]] = deque(
+            (task, 1) for task in trace.in_arrival_order()
+        )
+        by_index: Dict[int, ShardTask] = {t.index: t for t in trace.tasks}
+        delayed: List[Tuple[int, ShardTask, int]] = []  # (eligible_cycle, ...)
+        results: Dict[int, TaskOutcome] = {}
+        watches: Dict[int, object] = {}   # index -> Stopwatch since submit
+        duplicated: set = set()
+        inflight = 0
+        cycle = 0
+        idle_collects = 0
+        n_tasks = len(trace)
+        feed_window = cfg.resolved_feed_window()
+        max_workers = cfg.resolved_max_workers()
+
+        while len(results) < n_tasks:
+            cycle += 1
+            # Retries whose backoff has elapsed rejoin the queue tail.
+            if delayed:
+                still = []
+                for eligible, task, attempt in delayed:
+                    if eligible <= cycle:
+                        pending.append((task, attempt))
+                    else:
+                        still.append((eligible, task, attempt))
+                delayed = still
+            while pending and inflight < feed_window:
+                task, attempt = pending.popleft()
+                self._submit(task, attempt, metrics, watches)
+                inflight += 1
+
+            outcomes = backend.collect(timeout=cfg.collect_timeout)
+            if not outcomes:
+                if inflight or delayed or pending:
+                    idle_collects += 1
+                    if idle_collects >= cfg.stall_collects:
+                        raise SchedulerError(
+                            f"backend {backend.name!r} stalled with "
+                            f"{n_tasks - len(results)} task(s) outstanding"
+                        )
+                continue
+            idle_collects = 0
+
+            for outcome in outcomes:
+                inflight -= 1
+                index = outcome.task.index
+                if index in results:
+                    metrics.inc("sched.duplicates_dropped")
+                    continue
+                if outcome.ok:
+                    self._complete(outcome, metrics, watches)
+                    results[index] = outcome
+                else:
+                    delayed = self._retry(outcome, cycle, delayed, metrics)
+
+            inflight += self._requeue_stragglers(
+                by_index, results, watches, duplicated, metrics
+            )
+            outstanding = len(pending) + len(delayed) + inflight
+            self._rebalance(outstanding, max_workers, metrics)
+            metrics.gauge_max("sched.backlog_peak", outstanding)
+
+        return [results[i] for i in range(n_tasks)]
+
+    # -- steps -----------------------------------------------------------------
+
+    def _submit(self, task: ShardTask, attempt: int, metrics,
+                watches: Dict) -> None:
+        self.backend.submit(task, attempt)
+        if task.index not in watches:  # keep the first submission's clock
+            watches[task.index] = stopwatch()
+        metrics.inc("sched.tasks_submitted")
+        _trace.emit(
+            "sched.task.submit", trace_id=task.trace_id,
+            index=task.index, shard_kind=task.kind, attempt=attempt,
+        )
+
+    def _complete(self, outcome: TaskOutcome, metrics,
+                  watches: Dict) -> None:
+        task = outcome.task
+        total = watches[task.index].elapsed()
+        queue_seconds = max(0.0, total - outcome.run_seconds)
+        metrics.inc("sched.tasks_completed")
+        metrics.observe("sched.task_queue_seconds", queue_seconds)
+        metrics.observe("sched.task_run_seconds", outcome.run_seconds)
+        _trace.emit(
+            "sched.task.done", trace_id=task.trace_id,
+            index=task.index, shard_kind=task.kind, attempt=outcome.attempt,
+            sessions=len(outcome.store),
+        )
+
+    def _retry(self, outcome: TaskOutcome, cycle: int, delayed: List,
+               metrics) -> List:
+        cfg = self.config
+        task, attempt = outcome.task, outcome.attempt
+        if attempt >= cfg.max_attempts:
+            raise SchedulerError(
+                f"task {task.index} ({task.kind}:{task.key}:{task.start}) "
+                f"failed {attempt} attempt(s); last error: {outcome.error}"
+            )
+        backoff = cfg.retry_backoff_collects * (2 ** (attempt - 1))
+        metrics.inc("sched.tasks_retried")
+        _trace.emit(
+            "sched.task.retry", trace_id=task.trace_id,
+            index=task.index, attempt=attempt + 1, error=str(outcome.error),
+        )
+        return delayed + [(cycle + backoff, task, attempt + 1)]
+
+    def _requeue_stragglers(self, by_index: Dict, results: Dict,
+                            watches: Dict, duplicated: set, metrics) -> int:
+        """Duplicate tasks stuck far beyond the median; returns # added.
+
+        Duplicates race the original attempt; payloads are identical by
+        construction, so the first result wins and the loser is dropped by
+        the dedupe in :meth:`_drain`.
+        """
+        cfg = self.config
+        if cfg.straggler_factor <= 0 or len(results) < 4:
+            return 0
+        elapsed = sorted(watches[i].elapsed() for i in results)
+        median = elapsed[len(elapsed) // 2]
+        threshold = cfg.straggler_factor * max(median, 1e-6)
+        added = 0
+        for index, watch in watches.items():
+            if index in results or index in duplicated:
+                continue
+            if watch.elapsed() > threshold:
+                duplicated.add(index)
+                # Same attempt number: this is the same work, raced.
+                self.backend.submit(by_index[index], 1)
+                metrics.inc("sched.stragglers_requeued")
+                metrics.inc("sched.tasks_submitted")
+                added += 1
+        return added
+
+    def _rebalance(self, outstanding: int, max_workers: int,
+                   metrics) -> None:
+        """Grow when outstanding work outruns the pool, shrink at the tail.
+
+        ``outstanding`` counts everything not yet completed (queued,
+        delayed for retry, in flight) — capacity has to track total work
+        remaining, not just the unsubmitted backlog, or a wide feed
+        window would hide the queue from the policy.
+        """
+        backend = self.backend
+        if not backend.elastic:
+            return
+        cfg = self.config
+        current = backend.workers
+        metrics.gauge_max("sched.workers_peak", current)
+        if outstanding > cfg.grow_backlog * current \
+                and current < max_workers:
+            backend.resize(current + 1)
+            metrics.inc("sched.workers_grown")
+        elif outstanding < current and current > cfg.min_workers:
+            backend.resize(current - 1)
+            metrics.inc("sched.workers_shrunk")
+
+
+# -- scheduled generation ------------------------------------------------------
+
+
+def generate_scheduled(
+    config=None,
+    *,
+    backend: Union[str, Backend] = "pool",
+    workers: int = 1,
+    trace_file=None,
+    arrival_rate: Optional[float] = None,
+    sched: Optional[SchedulerConfig] = None,
+    work_trace: Optional[WorkTrace] = None,
+):
+    """Generate the sharded trace by draining a work trace through a backend.
+
+    The store is byte-identical for every backend, worker count and
+    arrival order: shards draw from named rng streams and merge in task
+    index order.  ``backend`` is a name (``inline`` / ``pool`` /
+    ``queue``) or a :class:`Backend` instance; ``trace_file`` replays an
+    existing work-trace JSONL (it must name this plan's shards) or, if
+    the path does not exist, records the built trace there.
+    """
+    from repro.workload.config import ScenarioConfig
+    from repro.workload.shards import _plan_for
+
+    config = config or ScenarioConfig()
+    workers = max(1, int(workers))
+    backend_obj = backend if isinstance(backend, Backend) \
+        else make_backend(backend, workers=workers)
+    # Default policy: a fixed-size pool (max_workers=0 pins capacity at
+    # ``workers``, matching the pre-scheduler pool); elasticity is opt-in
+    # through an explicit SchedulerConfig.
+    sched_cfg = sched or SchedulerConfig(workers=workers)
+
+    metrics = get_metrics()
+    with metrics.span("generate"):
+        with metrics.span("plan"):
+            plan = _plan_for(config)
+        shards = plan.shards
+        with metrics.span("sched/trace"):
+            trace = _resolve_trace(
+                plan, config, trace_file, arrival_rate, work_trace
+            )
+        metrics.gauge_set("shards.count", len(shards))
+        metrics.gauge_set("shards.workers", workers)
+        metrics.gauge_set("sched.arrival_rate", trace.lam)
+        metrics.gauge_set("sched.trace_makespan_virtual",
+                          trace.makespan_virtual)
+        # No backend name in the event data: the combined trace must be
+        # identical whichever backend (and worker count) executed it.
+        _trace.emit("sched.trace.built", tasks=len(trace), lam=trace.lam)
+        tracer = _trace.get_tracer()
+        want_trace = tracer is not None
+        emit_watch = stopwatch()
+        with metrics.span("emit"):
+            outcomes = Scheduler(backend_obj, sched_cfg).run(
+                trace, config, want_trace
+            )
+        emit_wall = emit_watch.elapsed()
+        # Fold worker-side metrics and trace events in task-index order —
+        # the same total order for every backend and pool size, which is
+        # what keeps the merged registry and trace worker-count-invariant
+        # (see workload/shards.py, whose pool this scheduler replaced).
+        for outcome in outcomes:
+            if outcome.metrics:
+                metrics.merge(outcome.metrics, span_prefix="generate/emit")
+            if want_trace and outcome.events:
+                task = outcome.task
+                tracer.fold(outcome.events, shard={
+                    "index": task.index, "kind": task.kind, "key": task.key,
+                    "start": task.start, "stop": task.stop,
+                })
+        busy = sum(
+            cell["wall"] for path, cell in metrics.spans.items()
+            if path.startswith("generate/emit/shard/")
+        )
+        slots = min(workers, max(len(shards), 1))
+        metrics.gauge_set(
+            "shards.queue_wait_seconds", max(0.0, emit_wall * slots - busy)
+        )
+        with metrics.span("merge"):
+            # Merge into a rows-free fork so the cached plan stays reusable.
+            builder = plan.gen.builder.fork_tables()
+            for outcome in outcomes:
+                merge_watch = stopwatch()
+                builder.adopt_store(outcome.store)
+                metrics.observe("sched.task_merge_seconds",
+                                merge_watch.elapsed())
+            merged = builder.build()
+        _trace.emit("generate.merged", shards=len(shards),
+                    workers=workers, sessions=len(merged))
+    return plan.gen._finalize(merged)
+
+
+def _resolve_trace(plan, config, trace_file, arrival_rate,
+                   work_trace) -> WorkTrace:
+    """The trace to drain: given > replayed from file > freshly built."""
+    if work_trace is not None:
+        trace = work_trace
+    elif trace_file is not None and _exists(trace_file):
+        trace = WorkTrace.load_jsonl(trace_file)
+        if not matches_plan(trace, plan):
+            raise ValueError(
+                f"{trace_file}: work trace does not match this config's "
+                f"shard plan (regenerate it, or drop --trace-file)"
+            )
+    else:
+        trace = build_trace(plan, config, lam=arrival_rate)
+        if trace_file is not None:
+            trace.save_jsonl(trace_file)
+    return trace
+
+
+def _exists(path) -> bool:
+    from pathlib import Path
+
+    return Path(path).exists()

@@ -1,0 +1,208 @@
+"""The shard work trace: what the scheduler drains.
+
+A :class:`WorkTrace` turns the shard plan's static enumeration into a
+*task trace* in the style of makespan-experiment harnesses: every shard
+becomes a :class:`ShardTask` carrying its identity, an estimated cost
+(sessions it will emit), and a virtual arrival offset.  Arrival offsets
+are exponential inter-arrival draws — Poisson arrivals of rate ``lam`` —
+seeded from the scenario config through a named rng stream
+(``sched.trace``), so the trace is a pure function of the config.
+
+Arrivals are *virtual*: the scheduler submits tasks in arrival order and
+records queueing against them, but never sleeps on the gaps — the trace
+models load shape, not wall time.  Because every shard draws from its own
+named rng stream and the merge runs in ``index`` order, neither the
+arrival order nor the backend that executes a task can change the merged
+store (property-tested in ``tests/test_sched.py``).
+
+A trace round-trips through JSONL (``--trace-file``) so a run's task
+trace can be inspected, archived, or replayed against a later plan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.simulation.rng import RngStream
+
+PathLike = Union[str, Path]
+
+#: Default Poisson arrival rate (tasks per virtual second).
+DEFAULT_ARRIVAL_RATE = 32.0
+
+#: Bumped only on breaking changes to the JSONL trace format.
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One schedulable unit of work: a shard plus trace metadata.
+
+    ``index`` is the shard's position in the plan enumeration — the merge
+    order, and therefore the only ordering that affects the output.
+    ``est_cost`` is the planned session count (the scheduler's relative
+    cost signal); ``arrival`` is the virtual arrival offset in seconds
+    since trace start.
+    """
+
+    index: int
+    kind: str
+    key: str
+    start: int
+    stop: int
+    est_cost: float
+    arrival: float
+
+    @property
+    def trace_id(self) -> str:
+        """The stable flight-recorder id shared with the shard's events."""
+        return f"sched:{self.kind}:{self.key}:{self.start}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "ShardTask":
+        return cls(
+            index=int(raw["index"]), kind=str(raw["kind"]),
+            key=str(raw["key"]), start=int(raw["start"]),
+            stop=int(raw["stop"]), est_cost=float(raw["est_cost"]),
+            arrival=float(raw["arrival"]),
+        )
+
+
+@dataclass(frozen=True)
+class WorkTrace:
+    """An immutable task trace: tasks in plan (merge) order, plus its rate.
+
+    ``tasks`` is always ordered by ``index``; :meth:`in_arrival_order`
+    gives the submission order.
+    """
+
+    tasks: Tuple[ShardTask, ...]
+    lam: float
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(t.est_cost for t in self.tasks))
+
+    @property
+    def makespan_virtual(self) -> float:
+        """The last virtual arrival offset (0.0 for an empty trace)."""
+        return max((t.arrival for t in self.tasks), default=0.0)
+
+    def in_arrival_order(self) -> List[ShardTask]:
+        """Submission order: by arrival, index-tie-broken (deterministic)."""
+        return sorted(self.tasks, key=lambda t: (t.arrival, t.index))
+
+    def with_arrival_order(self, order: Sequence[int]) -> "WorkTrace":
+        """The same tasks with arrival slots dealt out in ``order``.
+
+        ``order`` is a permutation of task indexes: the first named task
+        receives the earliest arrival offset, and so on.  Used by the
+        permutation-invariance property tests — reordering arrivals
+        reorders execution, never the merged store.
+        """
+        if sorted(order) != list(range(len(self.tasks))):
+            raise ValueError("order must be a permutation of task indexes")
+        offsets = sorted(t.arrival for t in self.tasks)
+        by_index = {t.index: t for t in self.tasks}
+        reassigned = []
+        for slot, index in enumerate(order):
+            task = by_index[index]
+            reassigned.append(ShardTask(
+                index=task.index, kind=task.kind, key=task.key,
+                start=task.start, stop=task.stop, est_cost=task.est_cost,
+                arrival=offsets[slot],
+            ))
+        reassigned.sort(key=lambda t: t.index)
+        return WorkTrace(tasks=tuple(reassigned), lam=self.lam,
+                         seed=self.seed)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save_jsonl(self, path: PathLike) -> None:
+        """Write the trace as JSONL: one header line, one line per task."""
+        header = {
+            "version": TRACE_FORMAT_VERSION, "lam": self.lam,
+            "seed": self.seed, "n_tasks": len(self.tasks),
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for task in self.tasks:
+                fh.write(json.dumps(task.to_dict(), sort_keys=True) + "\n")
+
+    @classmethod
+    def load_jsonl(cls, path: PathLike) -> "WorkTrace":
+        """Load a trace written by :meth:`save_jsonl` (validated)."""
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [line for line in (raw.strip() for raw in fh) if line]
+        if not lines:
+            raise ValueError(f"{path}: empty work-trace file")
+        header = json.loads(lines[0])
+        if header.get("version") != TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')!r}"
+            )
+        tasks = sorted(
+            (ShardTask.from_dict(json.loads(line)) for line in lines[1:]),
+            key=lambda t: t.index,
+        )
+        if header.get("n_tasks") != len(tasks):
+            raise ValueError(
+                f"{path}: header says {header.get('n_tasks')} tasks, "
+                f"found {len(tasks)}"
+            )
+        if [t.index for t in tasks] != list(range(len(tasks))):
+            raise ValueError(f"{path}: task indexes are not 0..n-1")
+        return cls(tasks=tuple(tasks), lam=float(header.get("lam", 0.0)),
+                   seed=int(header.get("seed", 0)))
+
+
+def build_trace(plan, config, lam: Optional[float] = None) -> WorkTrace:
+    """The deterministic work trace for a shard plan.
+
+    ``plan`` is a :class:`repro.workload.shards.ShardPlan`.  Inter-arrival
+    gaps are exponential draws of mean ``1/lam`` from the named stream
+    ``sched.trace`` under the config seed — same config, same trace, on
+    every host and for every backend.  The first task arrives at 0.
+    """
+    lam = float(lam) if lam else DEFAULT_ARRIVAL_RATE
+    if lam <= 0:
+        raise ValueError("arrival rate lam must be positive")
+    shards = plan.shards
+    rng = RngStream(config.seed, "sched.trace")
+    gaps = rng.exponential_array(1.0 / lam, len(shards)) \
+        if shards else np.zeros(0)
+    if len(gaps):
+        gaps[0] = 0.0
+    arrivals = np.cumsum(gaps)
+    tasks = tuple(
+        ShardTask(
+            index=i, kind=shard.kind, key=shard.key, start=shard.start,
+            stop=shard.stop, est_cost=float(plan.shard_cost(shard)),
+            arrival=float(arrivals[i]),
+        )
+        for i, shard in enumerate(shards)
+    )
+    return WorkTrace(tasks=tasks, lam=lam, seed=config.seed)
+
+
+def matches_plan(trace: WorkTrace, plan) -> bool:
+    """True when ``trace`` names exactly the plan's shards, in plan order."""
+    if len(trace.tasks) != len(plan.shards):
+        return False
+    for task, shard in zip(trace.tasks, plan.shards):
+        if (task.kind, task.key, task.start, task.stop) != \
+                (shard.kind, shard.key, shard.start, shard.stop):
+            return False
+    return True

@@ -37,9 +37,8 @@ _TABLES = ("honeypots", "countries", "passwords", "usernames", "hashes",
            "versions")
 
 
-def save_npz(store: SessionStore, path: PathLike) -> None:
-    """Save a store to ``path`` (.npz)."""
-    watch = stopwatch()
+def _store_arrays(store: SessionStore) -> dict:
+    """The exact arrays :func:`save_npz` persists, keyed by npz name."""
     arrays = {name: getattr(store, name) for name in _NUMERIC_COLUMNS}
 
     # The in-memory hash column is already CSR — persist it verbatim.
@@ -55,7 +54,39 @@ def save_npz(store: SessionStore, path: PathLike) -> None:
     )
     arrays["scripts_json"] = np.array([scripts_json], dtype=object)
     arrays["format_version"] = np.array([_FORMAT_VERSION])
+    return arrays
 
+
+def store_digest(store: SessionStore) -> str:
+    """sha256 over the persisted byte content of a store.
+
+    Hashes exactly what :func:`save_npz` would write — numeric columns as
+    raw bytes, string tables and interned scripts as JSON — so two stores
+    digest equal iff their npz files round-trip to the same content.
+    Backend/worker-count invariance checks compare these digests
+    (``tests/test_sched.py``, the ci.sh backend matrix).
+    """
+    import hashlib
+
+    digest = hashlib.sha256()
+    arrays = _store_arrays(store)
+    for name in sorted(arrays):
+        arr = np.asarray(arrays[name])
+        digest.update(name.encode("utf-8"))
+        if arr.dtype == object:  # string tables / scripts JSON
+            digest.update(
+                json.dumps([str(item) for item in arr]).encode("utf-8")
+            )
+        else:
+            digest.update(str(arr.dtype).encode("utf-8"))
+            digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
+def save_npz(store: SessionStore, path: PathLike) -> None:
+    """Save a store to ``path`` (.npz)."""
+    watch = stopwatch()
+    arrays = _store_arrays(store)
     path = Path(path)
     with get_metrics().span("store/save_npz"):
         np.savez_compressed(path, **arrays)

@@ -664,6 +664,17 @@ class SessionStore:
     def n_days(self) -> int:
         return int(self.day.max()) + 1 if len(self) else 0
 
+    def content_digest(self) -> str:
+        """sha256 of the store's persisted byte content.
+
+        Two stores digest equal iff :func:`repro.store.npz.save_npz`
+        would write the same content for both — the identity the
+        backend/worker-count invariance checks compare.
+        """
+        from repro.store.npz import store_digest
+
+        return store_digest(self)
+
     # -- merging ---------------------------------------------------------------
 
     @classmethod

@@ -918,39 +918,32 @@ def generate_dataset(
     workers: Optional[int] = None,
     cache=None,
 ) -> HoneyfarmDataset:
-    """Generate one synthetic honeyfarm trace (the library's main entry).
+    """Deprecated shim over :func:`repro.api.generate`.
 
-    ``workers=None`` runs the original single-pass generator. Any integer
-    ``workers >= 1`` selects the sharded pipeline: the scenario is cut into
-    (traffic unit, day-range) shards, each drawing from its own named rng
-    stream, so the result is identical for every worker count — including
-    ``workers=1`` — but is a distinct (equally valid) trace from the
-    single-pass path, whose draw order predates sharding.
+    ``workers=None`` runs the original single-pass generator (the
+    ``serial`` backend — a distinct, equally valid trace whose draw order
+    predates sharding); any integer ``workers >= 1`` selects the sharded
+    pipeline, whose output is identical for every worker count.  ``cache``
+    memoises the result on disk exactly as before.
 
-    ``cache`` (a directory path or :class:`~repro.workload.cache.DatasetCache`)
-    memoises the result on disk, keyed by a fingerprint of the config,
-    pipeline family and store format.  A hit skips generation entirely;
-    a miss generates, stores the bundle, and returns it.
+    New code should call :func:`repro.generate`, which exposes the
+    scheduler's backend seam (``inline`` / ``pool`` / ``queue``) instead
+    of a bare process count.
     """
-    config = config or ScenarioConfig()
+    import warnings
 
-    cache_obj = None
-    if cache is not None:
-        from repro.workload.cache import as_cache, dataset_fingerprint
-
-        cache_obj = as_cache(cache)
-        fingerprint = dataset_fingerprint(config, workers=workers)
-        cached = cache_obj.load(fingerprint)
-        if cached is not None:
-            return cached
+    warnings.warn(
+        "generate_dataset() is deprecated; use repro.generate(config, "
+        "backend=..., workers=...) (see repro.api)",
+        DeprecationWarning, stacklevel=2,
+    )
+    from repro.api import generate
 
     if workers is None:
-        dataset = TraceGenerator(config).run()
+        backend = "serial"
+        workers_opt = None
     else:
-        from repro.workload.shards import generate_sharded
-
-        dataset = generate_sharded(config, workers=workers)
-
-    if cache_obj is not None:
-        cache_obj.store(fingerprint, dataset)
-    return dataset
+        backend = "inline" if int(workers) == 1 else "pool"
+        workers_opt = max(1, int(workers))
+    return generate(config, backend=backend, workers=workers_opt,
+                    cache=cache)

@@ -15,13 +15,12 @@ store is therefore bit-identical for every worker count.
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.obs import get_metrics, stopwatch, use_metrics
+from repro.obs import get_metrics, use_metrics
 from repro.obs import trace as _trace
 from repro.store.store import SessionStore
 from repro.workload.config import ScenarioConfig
@@ -127,6 +126,22 @@ class ShardPlan:
                 if budgets[lo:hi].sum() > 0:
                     shards.append(Shard(cat, cat, lo, hi))
         return shards
+
+    def shard_cost(self, shard: Shard) -> float:
+        """Planned session count for one shard — the scheduler's relative
+        cost signal (estimated, not authoritative: emission may dedupe)."""
+        if shard.kind == "campaign":
+            campaign = self.campaigns_by_id[shard.key]
+            days = sorted(campaign.schedule)
+            return float(sum(
+                campaign.schedule[day]
+                for day in days[shard.start:shard.stop]
+            ))
+        if shard.kind == "singletons":
+            # One session per writer is the plan's floor; close enough to
+            # rank singleton shards against each other.
+            return float(shard.stop - shard.start)
+        return float(self.budgets[shard.kind][shard.start:shard.stop].sum())
 
 
 def emit_shard(plan: ShardPlan, shard: Shard) -> SessionStore:
@@ -235,13 +250,6 @@ def _emit_indexed(task: Tuple[ScenarioConfig, int, bool]):
     return store, metrics.to_dict(), events
 
 
-def _mp_context():
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:
-        return multiprocessing.get_context("spawn")
-
-
 def generate_sharded(
     config: Optional[ScenarioConfig] = None, workers: int = 1
 ) -> HoneyfarmDataset:
@@ -250,57 +258,16 @@ def generate_sharded(
     The output is bit-identical for every ``workers`` value: shards are
     emitted from named rng streams and merged in enumeration order, so
     scheduling cannot influence the result.
+
+    Since the :mod:`repro.sched` redesign this is a thin wrapper over
+    :func:`repro.sched.scheduler.generate_scheduled` — ``workers == 1``
+    runs the in-process :class:`~repro.sched.backends.InlineBackend`,
+    anything larger the multiprocess pool (the pool this module used to
+    hard-wire).  Pick other backends through :func:`repro.api.generate`.
     """
+    from repro.sched.scheduler import generate_scheduled
+
     config = config or ScenarioConfig()
     workers = max(1, int(workers))
-    metrics = get_metrics()
-    with metrics.span("generate"):
-        with metrics.span("plan"):
-            plan = _plan_for(config)
-        shards = plan.shards
-        metrics.gauge_set("shards.count", len(shards))
-        metrics.gauge_set("shards.workers", workers)
-        tracer = _trace.get_tracer()
-        want_trace = tracer is not None
-        emit_watch = stopwatch()
-        with metrics.span("emit"):
-            tasks = [(config, i, want_trace) for i in range(len(shards))]
-            if workers == 1 or len(shards) <= 1:
-                results = [_emit_indexed(task) for task in tasks]
-            else:
-                with _mp_context().Pool(min(workers, len(shards))) as pool:
-                    results = pool.map(_emit_indexed, tasks)
-        emit_wall = emit_watch.elapsed()
-        # Fold worker-side metrics back in shard order; their stage
-        # timings nest under this span tree.  Worker walls sum over
-        # parallel shards, so the per-kind totals can exceed the parent
-        # "emit" wall — the surplus is the parallel speedup.  Worker trace
-        # events fold in the same shard order, re-stamped with shard
-        # provenance, so the combined trace is worker-count-invariant.
-        for index, (_store, worker_metrics, events) in enumerate(results):
-            metrics.merge(worker_metrics, span_prefix="generate/emit")
-            if want_trace and events:
-                shard = shards[index]
-                tracer.fold(events, shard={
-                    "index": index, "kind": shard.kind, "key": shard.key,
-                    "start": shard.start, "stop": shard.stop,
-                })
-        busy = sum(
-            cell["wall"] for path, cell in metrics.spans.items()
-            if path.startswith("generate/emit/shard/")
-        )
-        # Pool-slot time not spent emitting: queueing, pickling, idle
-        # workers at the tail of the shard list.
-        slots = min(workers, max(len(shards), 1))
-        metrics.gauge_set(
-            "shards.queue_wait_seconds", max(0.0, emit_wall * slots - busy)
-        )
-        with metrics.span("merge"):
-            # Merge into a rows-free fork so the cached plan stays reusable.
-            builder = plan.gen.builder.fork_tables()
-            for store, _worker_metrics, _events in results:
-                builder.adopt_store(store)
-            merged = builder.build()
-        _trace.emit("generate.merged", shards=len(shards),
-                    workers=workers, sessions=len(merged))
-    return plan.gen._finalize(merged)
+    backend = "inline" if workers == 1 else "pool"
+    return generate_scheduled(config, backend=backend, workers=workers)

@@ -208,6 +208,31 @@ def test_json_output_schema_is_stable():
     assert finding["line"] == 7
 
 
+def test_json_findings_sorted_by_location_then_rule():
+    """JSON output orders findings by (path, line, col, rule) — never by
+    message text or input order — so reports diff-stable across
+    filesystems and directory-walk orders."""
+    scrambled = [
+        Finding("b.py", 3, 0, "wall-clock", "zzz last message"),
+        Finding("a.py", 9, 4, "wall-clock", "mid"),
+        Finding("b.py", 3, 0, "bare-except", "aaa first message"),
+        Finding("a.py", 2, 0, "unordered-iter", "x"),
+        Finding("a.py", 2, 0, "global-random", "y"),
+    ]
+    for perm in (scrambled, scrambled[::-1]):
+        payload = json.loads(to_json(list(perm)))
+        keys = [(f["path"], f["line"], f["col"], f["rule"])
+                for f in payload["findings"]]
+        assert keys == sorted(keys)
+    assert keys == [
+        ("a.py", 2, 0, "global-random"),
+        ("a.py", 2, 0, "unordered-iter"),
+        ("a.py", 9, 4, "wall-clock"),
+        ("b.py", 3, 0, "bare-except"),
+        ("b.py", 3, 0, "wall-clock"),
+    ]
+
+
 # -- registry names ------------------------------------------------------------
 
 
