@@ -129,6 +129,36 @@ def test_npz_load(benchmark, gen_dataset, tmp_path):
     echo(f"  npz load: {len(store):,} sessions at {rate:.1f} MB/s")
 
 
+def test_streaming_ingest_throughput(benchmark, gen_dataset):
+    """Events/second through the streaming-analytics sketch consumer.
+
+    The store is replayed once into flight-recorder event dicts; each
+    round feeds them through a fresh :class:`StreamingAnalytics` (HLLs,
+    count-min, three top-k tables, exact mix/day accumulators), so the
+    number is pure consumer cost, not replay cost.  The ``sketch/ingest``
+    span this records is what the trajectory file persists as
+    ``streaming_events_per_second``.
+    """
+    from repro.analytics import StreamingAnalytics, replay_store_events
+
+    events = replay_store_events(gen_dataset.store)
+
+    def ingest():
+        analytics = StreamingAnalytics()
+        analytics.ingest_events(events)
+        return analytics
+
+    analytics, seconds = _run(benchmark, ingest)
+    rate = len(events) / seconds
+    assert analytics.session_count() == len(gen_dataset.store)
+    benchmark.extra_info["events"] = len(events)
+    benchmark.extra_info["events_per_second"] = round(rate)
+    heading("streaming ingest throughput",
+            f"1/{GEN_DENOMINATOR} scale, sketch consumer")
+    echo(f"  {len(events):,} events at {rate:,.0f} events/s "
+         f"({analytics.session_count():,} sessions)")
+
+
 def test_cache_warm_vs_cold(benchmark, tmp_path_factory):
     """Warm fingerprint-cache hit vs cold generation of the same config."""
     config = gen_config()

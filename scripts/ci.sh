@@ -44,6 +44,46 @@ else
     echo "mypy not installed; skipping (pip install -e '.[dev]' to enable)"
 fi
 
+echo "== analytics coverage (gated on pytest-cov availability) =="
+if python -c "import pytest_cov" > /dev/null 2>&1; then
+    python -m pytest tests/test_analytics_sketches.py \
+        tests/test_analytics_differential.py -q \
+        --cov=repro.analytics --cov-report=term-missing:skip-covered \
+        --cov-fail-under=90
+else
+    echo "pytest-cov not installed; skipping (pip install -e '.[dev]' to enable)"
+fi
+
+echo "== streaming-vs-batch smoke (exact aggregates must match bit for bit) =="
+python - <<'PY'
+import numpy as np
+
+import repro
+from repro.analytics import StreamingAnalytics
+from repro.core.classify import CATEGORIES, classify_store
+from repro.core.timeseries import daily_totals
+
+store = repro.generate(
+    repro.ScenarioConfig(scale=1 / 80000, seed=7, hash_scale=0.004),
+    backend="inline", workers=1,
+).store
+analytics = StreamingAnalytics()
+analytics.ingest_store(store)
+
+batch_mix = np.bincount(classify_store(store), minlength=len(CATEGORIES))
+mix = analytics.category_counts()
+for code, category in enumerate(CATEGORIES):
+    if mix[category.value] != int(batch_mix[code]):
+        raise SystemExit(
+            f"category mix diverged at {category.value}: "
+            f"streaming {mix[category.value]} vs batch {int(batch_mix[code])}")
+batch_daily = daily_totals(store)
+if not np.array_equal(analytics.sessions_per_day(len(batch_daily)), batch_daily):
+    raise SystemExit("sessions-per-day diverged between streaming and batch")
+print(f"streaming-vs-batch ok ({analytics.session_count():,} sessions, "
+      f"mix + daily totals exact)")
+PY
+
 echo "== backend matrix smoke (inline / pool / queue byte-identical) =="
 python - <<'PY'
 import repro

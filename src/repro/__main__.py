@@ -193,6 +193,15 @@ def cmd_report(args) -> int:
 
     dataset = _dataset(args)
     print(print_summary(dataset))
+    if getattr(args, "streaming", False):
+        from repro.analytics import StreamingAnalytics
+
+        analytics = StreamingAnalytics()
+        analytics.ingest_store(dataset.store)
+        analytics.export_gauges()
+        print("\n-- streaming analytics (sketch answers vs the batch "
+              "numbers above) --")
+        print(analytics.render_panels())
     return 0
 
 
@@ -274,6 +283,7 @@ def _emit_metrics(flag) -> None:
 
 def cmd_monitor(args) -> int:
     """Live farm-health monitor: demo scenario, or tail a JSONL trace."""
+    from repro.analytics import StreamingAnalytics
     from repro.farm.health import FarmHealthMonitor, HealthConfig
 
     monitor = FarmHealthMonitor(HealthConfig(
@@ -281,10 +291,11 @@ def cmd_monitor(args) -> int:
         interval=args.interval,
         z_threshold=args.z_threshold,
     ))
+    analytics = StreamingAnalytics()
     if args.input:
-        status = _monitor_tail(args, monitor)
+        status = _monitor_tail(args, monitor, analytics)
     else:
-        status = _monitor_demo(args, monitor)
+        status = _monitor_demo(args, monitor, analytics)
     if args.prometheus:
         from repro.obs import get_metrics, render_prometheus
 
@@ -295,8 +306,12 @@ def cmd_monitor(args) -> int:
     return status
 
 
-def _monitor_report(monitor) -> None:
+def _monitor_report(monitor, analytics=None) -> None:
     print(monitor.render_table())
+    if analytics is not None and analytics.events_seen:
+        analytics.export_gauges()
+        print("\n-- streaming analytics (live uniques / top-k) --")
+        print(analytics.render_panels())
     if monitor.notices:
         print("\n-- fresh-hash notifications --")
         for notice in monitor.notices:
@@ -304,7 +319,7 @@ def _monitor_report(monitor) -> None:
             print()
 
 
-def _monitor_tail(args, monitor) -> int:
+def _monitor_tail(args, monitor, analytics=None) -> int:
     """Consume a flight-recorder JSONL stream (optionally following it)."""
     import json
     import time
@@ -334,10 +349,12 @@ def _monitor_tail(args, monitor) -> int:
                 bad_lines += 1
                 continue
             monitor.feed(event)
+            if analytics is not None:
+                analytics.feed(event)
             consumed += 1
             if args.validate:
                 events.append(event)
-    _monitor_report(monitor)
+    _monitor_report(monitor, analytics)
     if bad_lines:
         print(f"warning: {bad_lines} unparseable lines skipped",
               file=sys.stderr)
@@ -353,7 +370,7 @@ def _monitor_tail(args, monitor) -> int:
     return 0
 
 
-def _monitor_demo(args, monitor) -> int:
+def _monitor_demo(args, monitor, analytics=None) -> int:
     """A small live-farm scenario exercising every alert path.
 
     Deterministic in ``--seed``: round-robin scans (half the pots go silent
@@ -369,8 +386,12 @@ def _monitor_demo(args, monitor) -> int:
         ScoutBehavior,
     )
 
-    farm = LiveFarm(seed=args.seed, n_honeypots=args.pots,
-                    event_tap=monitor.on_event)
+    def tap(event):
+        monitor.on_event(event)
+        if analytics is not None:
+            analytics.on_event(event)
+
+    farm = LiveFarm(seed=args.seed, n_honeypots=args.pots, event_tap=tap)
     pots = len(farm.honeypots)
     monitor.watch(h.honeypot_id for h in farm.honeypots)
     duration = args.duration
@@ -406,7 +427,7 @@ def _monitor_demo(args, monitor) -> int:
     farm.run()
     farm.harvest(duration + 600.0)
     monitor.advance(duration)
-    _monitor_report(monitor)
+    _monitor_report(monitor, analytics)
     return 0
 
 
@@ -455,6 +476,10 @@ def main(argv=None) -> int:
     p_report = sub.add_parser("report", help="print paper-vs-measured summary")
     _add_scenario_args(p_report)
     _add_load_arg(p_report)
+    p_report.add_argument("--streaming", action="store_true",
+                          help="also replay the trace through the streaming "
+                               "sketch analytics (repro.analytics) and print "
+                               "its uniques / mix / top-k panels")
     p_report.set_defaults(func=cmd_report)
 
     p_tables = sub.add_parser("tables", help="print Tables 1-6")

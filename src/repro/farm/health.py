@@ -36,11 +36,13 @@ from repro.obs import get_metrics
 #: Session categories the mix-drift baseline tracks (the paper's taxonomy).
 CATEGORIES = ("NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD_URI")
 
-#: Bulk-path block categories mapped onto the taxonomy.
-_BLOCK_CATEGORY = {
+#: Bulk-path block categories mapped onto the taxonomy (shared with the
+#: streaming analytics consumer, which classifies block events the same way).
+BLOCK_CATEGORY = {
     "no_cred": "NO_CRED", "fail_log": "FAIL_LOG", "no_cmd": "NO_CMD",
     "bg_cmd": "CMD", "bg_uri": "CMD_URI", "singletons": "CMD",
 }
+_BLOCK_CATEGORY = BLOCK_CATEGORY
 
 
 @dataclass

@@ -68,6 +68,11 @@ COUNTERS: Tuple[str, ...] = (
     "sched.stragglers_requeued",
     "sched.workers_grown",
     "sched.workers_shrunk",
+    # Streaming sketch analytics (repro.analytics).
+    "sketch.sessions_observed",
+    "sketch.events_consumed",
+    "sketch.store_sessions_ingested",
+    "sketch.merges",
 )
 
 #: Gauges (``gauge_set`` — last value; ``gauge_max`` — high-water mark).
@@ -82,6 +87,7 @@ GAUGES: Tuple[str, ...] = (
     "sched.trace_makespan_virtual",
     "sched.workers_peak",
     "sched.backlog_peak",
+    "sketch.unique.*",  # streaming cardinality estimates (clients, hashes)
 )
 
 #: Histograms (``observe`` / ``histogram`` / ``timer``).
@@ -122,6 +128,7 @@ SPANS: Tuple[str, ...] = (
     "report",
     "intermediates",
     "tables_4_5_6",
+    "sketch/ingest",
 )
 
 #: Flight-recorder event kinds (``repro.obs.trace.emit`` and

@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 
 #: Span paths whose wall seconds are persisted per record (with any of
 #: their direct children); everything else is noise at trajectory scale.
-STAGE_ROOTS = ("generate", "report", "validate", "tables")
+STAGE_ROOTS = ("generate", "report", "validate", "tables", "sketch")
 
 
 def current_commit() -> str:
@@ -49,6 +49,19 @@ def sessions_per_second(metrics: Dict) -> Optional[float]:
     if not sessions or wall <= 0:
         return None
     return float(sessions) / float(wall)
+
+
+def streaming_events_per_second(metrics: Dict) -> Optional[float]:
+    """Streaming-analytics ingest throughput (None if it never ran).
+
+    Events consumed by :class:`repro.analytics.StreamingAnalytics` over
+    the wall seconds spent under the top-level ``sketch/ingest`` span.
+    """
+    events = metrics.get("counters", {}).get("sketch.events_consumed", 0)
+    wall = metrics.get("spans", {}).get("sketch/ingest", {}).get("wall", 0.0)
+    if not events or wall <= 0:
+        return None
+    return float(events) / float(wall)
 
 
 def stage_seconds(metrics: Dict) -> Dict[str, float]:
@@ -92,6 +105,9 @@ def append_record(
             "store.sessions_appended", 0),
         "stage_seconds": stage_seconds(metrics),
     }
+    streaming = streaming_events_per_second(metrics)
+    if streaming is not None:
+        record["streaming_events_per_second"] = streaming
     if context:
         record["context"] = dict(context)
     records = load_trajectory(path)

@@ -20,9 +20,19 @@ from repro.obs import metrics as _obs_metrics
 T = TypeVar("T")
 
 
-def _derive_seed(master_seed: int, name: str) -> int:
+def derive_stream_seed(master_seed: int, name: str) -> int:
+    """The 64-bit seed a named stream derives from ``master_seed``.
+
+    Public so that non-``Generator`` consumers of determinism (the
+    ``repro.analytics`` sketches seed their hash functions this way) share
+    the exact same derivation as the simulator's named streams.
+    """
     digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
     return int.from_bytes(digest[:8], "big")
+
+
+# Backwards-compatible alias (predates the public spelling).
+_derive_seed = derive_stream_seed
 
 
 class RngStream:

@@ -303,17 +303,31 @@ class TestHoneypotEventIntake:
         assert m.pots["hp-x"].live == 0
         assert m.sessions_seen == 1
 
-    def test_live_farm_event_tap_feeds_monitor(self):
-        from repro.farm.live import LiveFarm, ScanBehavior
-
+    def test_live_farm_event_tap_feeds_monitor(self, demo_farm_events):
+        # Shared recorded LiveFarm run (see conftest): 18 sessions over
+        # 3 pots, with intrusion wgets dropping never-seen hashes.
         with use_metrics():
             m = FarmHealthMonitor(HealthConfig(liveness_timeout=1e9))
-            farm = LiveFarm(seed=3, n_honeypots=2, event_tap=m.on_event)
-            farm.launch(0x01020304, 0, ScanBehavior(), at=1.0)
-            farm.launch(0x01020305, 1, ScanBehavior(), at=2.0)
-            farm.run()
-        assert m.sessions_seen == 2
-        assert len(m.pots) == 2
+            for event in demo_farm_events:
+                m.on_event(event)
+        assert m.sessions_seen == 18
+        assert len(m.pots) == 3
+        assert m.notices, "intrusion downloads should raise fresh-hash"
+
+    def test_recorded_trace_feed_matches_event_objects(self, demo_farm_events,
+                                                       recorded_trace):
+        # Feeding the dict-shaped flight-recorder form of the same run
+        # must land in the same monitor state as the live objects.
+        with use_metrics():
+            a = FarmHealthMonitor(HealthConfig(liveness_timeout=1e9))
+            for event in demo_farm_events:
+                a.on_event(event)
+            b = FarmHealthMonitor(HealthConfig(liveness_timeout=1e9))
+            assert b.feed_many(recorded_trace) == len(demo_farm_events)
+        assert b.sessions_seen == a.sessions_seen
+        assert b.events_seen == a.events_seen
+        assert sorted(b.pots) == sorted(a.pots)
+        assert {n.sha256 for n in b.notices} == {n.sha256 for n in a.notices}
 
 
 class TestRenderTable:

@@ -257,6 +257,33 @@ def test_prefix_may_match_dynamic_heads():
     assert not obs_names.prefix_may_match("nope.alerts.", obs_names.COUNTERS)
 
 
+def test_every_sketch_instrument_is_declared():
+    # The streaming-analytics consumer's instrument names must stay in
+    # sync with the obs.names registry (the lint gate enforces this for
+    # literal call sites; this pins the contract at the API level too).
+    for name in ("sketch.sessions_observed", "sketch.events_consumed",
+                 "sketch.store_sessions_ingested", "sketch.merges"):
+        assert obs_names.is_declared(name, obs_names.COUNTERS), name
+    for name in ("sketch.unique.clients", "sketch.unique.hashes"):
+        assert obs_names.is_declared(name, obs_names.GAUGES), name
+    assert obs_names.is_declared("sketch/ingest", obs_names.SPANS)
+
+
+def test_undeclared_sketch_family_member_fails_lint(tmp_path):
+    # A sketch.* counter nobody declared must be a registry-names finding
+    # — new instrument families ride through obs.names, not ad hoc.
+    p = tmp_path / "analytics_ext.py"
+    p.write_text(
+        "from repro.obs import get_metrics\n"
+        "def f():\n"
+        "    get_metrics().inc('sketch.bogus_family')\n"
+    )
+    result = run_lint([p], rules=select_rules(["registry-names"]),
+                      baseline=None)
+    assert [f.rule for f in result.findings] == ["registry-names"]
+    assert "sketch.bogus_family" in result.findings[0].message
+
+
 def test_registry_rule_ignores_non_instrument_calls(tmp_path):
     p = tmp_path / "not_metrics.py"
     p.write_text(

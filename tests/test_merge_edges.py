@@ -1,10 +1,12 @@
-"""Edge cases for the two merge layers: stores and farm collectors.
+"""Edge cases for the merge layers: stores, collectors, metrics, traces.
 
 ``SessionStore.merge`` / ``StoreBuilder.adopt`` remap interned ids when
 combining stores whose string tables diverged; ``FarmCollector.merge``
-folds operator counters.  These tests pin the degenerate shapes the happy
-path never exercises: empty inputs, fully disjoint tables, overlapping
-post-fork tables, and multi-step associativity.
+folds operator counters; ``Metrics.merge`` / ``Tracer.fold`` are the
+shard-fold discipline the streaming analytics sketches mirror.  These
+tests pin the degenerate shapes the happy path never exercises: empty
+inputs, single-shard identity, fully disjoint tables, overlapping
+post-fork tables, out-of-order folds, and multi-step associativity.
 """
 
 from __future__ import annotations
@@ -12,6 +14,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.farm.collector import FarmCollector
+from repro.obs.metrics import Metrics
+from repro.obs.trace import Tracer, group_by_trace, strip_volatile
 from repro.store.records import SessionRecord
 from repro.store.store import SessionStore, StoreBuilder
 
@@ -203,3 +207,155 @@ class TestCollectorMergeEdges:
         two.events.append("e2")
         one.merge(two)
         assert one.events == []
+
+
+def _worker_trace(shard: int, n: int = 3) -> Tracer:
+    """A worker-side tracer with ``n`` events on its own trace id."""
+    tracer = Tracer()
+    for j in range(n):
+        tracer.emit(
+            "honeypot.session.connect" if j == 0 else "honeypot.command.input",
+            trace_id=f"session:{shard}",
+            sim_time=100.0 * shard + j,
+            step=j,
+        )
+    return tracer
+
+
+class TestTracerFoldEdges:
+    def test_fold_of_empty_shard_is_a_no_op(self):
+        parent = Tracer()
+        parent.emit("generator.block", trace_id="t0", sim_time=0.0)
+        assert parent.fold([]) == 0
+        assert len(parent) == 1
+        # The next emit continues the sequence uninterrupted.
+        assert parent.emit("generator.block", trace_id="t0",
+                           sim_time=1.0)["seq"] == 1
+
+    def test_single_shard_fold_is_identity_modulo_volatile(self):
+        worker = _worker_trace(0)
+        parent = Tracer()
+        shard = {"index": 0, "kind": "pool", "key": "shard-0"}
+        assert parent.fold(worker.to_list(), shard=shard) == 3
+        stripped = [strip_volatile(e) for e in parent.to_list()]
+        assert stripped == [strip_volatile(e) for e in worker.to_list()]
+        # seq is re-stamped in fold order and provenance attached.
+        assert [e["seq"] for e in parent.to_list()] == [0, 1, 2]
+        assert all(e["shard"] == shard for e in parent.to_list())
+
+    def test_fold_does_not_mutate_worker_events(self):
+        worker = _worker_trace(0)
+        before = [dict(e) for e in worker.to_list()]
+        parent = Tracer()
+        parent.emit("generator.block", trace_id="pad", sim_time=0.0)
+        parent.fold(worker.to_list(), shard={"index": 0, "kind": "pool",
+                                             "key": "shard-0"})
+        assert worker.to_list() == before  # no seq re-stamp, no shard key
+
+    def test_out_of_order_shard_folds_keep_per_trace_sequences(self):
+        def folded(order):
+            shards = [_worker_trace(i) for i in range(3)]
+            parent = Tracer()
+            for i in order:
+                parent.fold(shards[i].to_list(),
+                            shard={"index": i, "kind": "pool",
+                                   "key": f"shard-{i}"})
+            return parent.to_list()
+
+        forward = folded((0, 1, 2))
+        scrambled = folded((2, 0, 1))
+        # Global seq is a valid total order either way...
+        for events in (forward, scrambled):
+            assert [e["seq"] for e in events] == list(range(9))
+        # ...and the per-trace stripped sequences are fold-order-invariant.
+        by_trace = {
+            trace: [strip_volatile(e) for e in events]
+            for trace, events in group_by_trace(forward).items()
+        }
+        for trace, events in group_by_trace(scrambled).items():
+            assert [strip_volatile(e) for e in events] == by_trace[trace]
+
+    def test_fold_respects_capacity_and_counts_drops(self):
+        parent = Tracer(capacity=2)
+        assert parent.fold(_worker_trace(0).to_list()) == 3
+        assert len(parent) == 2
+        assert parent.dropped == 1
+        assert parent.emitted == 3
+
+
+def _shard_metrics(counters=(), gauges=(), samples=(), spans=()) -> Metrics:
+    m = Metrics()
+    for name, value in counters:
+        m.inc(name, value)
+    for name, value in gauges:
+        m.gauge_set(name, value)
+    for name, value in samples:
+        m.observe(name, value)
+    # Spans merged from dict form: exact values, no wall clock involved.
+    m.merge({"spans": {path: dict(cell) for path, cell in spans}})
+    return m
+
+
+_SHARDS = (
+    dict(counters=[("store.sessions_appended", 5), ("cache.hits", 1)],
+         gauges=[("farm.pots.active", 3.0)],
+         samples=[("session.duration", 1.0), ("session.duration", 4.0)],
+         spans=[("generate", {"count": 1, "wall": 1.5, "cpu": 0.5})]),
+    dict(counters=[("store.sessions_appended", 7)],
+         gauges=[("farm.pots.active", 8.0)],
+         samples=[("session.duration", 2.0)],
+         spans=[("generate", {"count": 1, "wall": 0.25, "cpu": 0.125}),
+                ("generate/merge", {"count": 2, "wall": 0.5, "cpu": 0.25})]),
+    dict(counters=[("cache.hits", 2), ("cache.misses", 1)],
+         gauges=[("farm.pots.active", 6.0)],
+         samples=[("session.duration", 3.0), ("session.duration", 0.5)],
+         spans=[("generate", {"count": 1, "wall": 0.75, "cpu": 0.25})]),
+)
+
+
+class TestMetricsMergeEdges:
+    def test_merge_of_fresh_registry_is_identity(self):
+        m = _shard_metrics(**_SHARDS[0])
+        before = m.to_dict()
+        m.merge(Metrics())
+        assert m.to_dict() == before
+
+    def test_merge_into_fresh_registry_equals_to_dict(self):
+        m = _shard_metrics(**_SHARDS[1])
+        fresh = Metrics()
+        fresh.merge(m)
+        assert fresh.to_dict() == m.to_dict()
+
+    def test_dict_form_merges_like_the_object_form(self):
+        a1 = _shard_metrics(**_SHARDS[0])
+        a1.merge(_shard_metrics(**_SHARDS[1]))
+        a2 = _shard_metrics(**_SHARDS[0])
+        a2.merge(_shard_metrics(**_SHARDS[1]).to_dict())
+        assert a1.to_dict() == a2.to_dict()
+
+    def test_out_of_order_merges_agree(self):
+        def folded(order):
+            out = Metrics()
+            for i in order:
+                out.merge(_shard_metrics(**_SHARDS[i]))
+            return out
+
+        forward = folded((0, 1, 2))
+        scrambled = folded((2, 0, 1))
+        assert forward.counters == scrambled.counters
+        assert forward.gauges == scrambled.gauges  # gauge_max: order-free
+        assert forward.spans == scrambled.spans  # exact binary fractions
+        # Uncapped histograms concatenate: same sample multiset, and the
+        # derived statistics agree exactly.
+        fh = forward.histograms["session.duration"]
+        sh = scrambled.histograms["session.duration"]
+        assert sorted(fh.values) == sorted(sh.values)
+        assert (fh.count, fh.total, fh.max) == (sh.count, sh.total, sh.max)
+        assert fh.percentile(50) == sh.percentile(50)
+
+    def test_span_prefix_reroots_worker_timings(self):
+        parent = Metrics()
+        parent.merge(_shard_metrics(**_SHARDS[1]), span_prefix="workers/0")
+        assert set(parent.spans) == {"workers/0/generate",
+                                     "workers/0/generate/merge"}
+        assert parent.spans["workers/0/generate"]["count"] == 1
