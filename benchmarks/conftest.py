@@ -62,6 +62,7 @@ def pytest_sessionfinish(session, exitstatus):
     if trajectory:
         from repro.obs import get_metrics
         from repro.obs.trajectory import append_record
+        from repro.workload.blocks import emit_path
 
         record = append_record(
             trajectory,
@@ -71,6 +72,7 @@ def pytest_sessionfinish(session, exitstatus):
                 "scale": os.environ.get("REPRO_BENCH_SCALE",
                                         str(DEFAULT_DENOMINATOR)),
                 "workers": os.environ.get("REPRO_WORKERS", "1"),
+                "emit_path": emit_path(),
             },
         )
         sps = record["sessions_per_second"]

@@ -37,6 +37,7 @@ COUNTERS: Tuple[str, ...] = (
     "store.sessions_appended",
     "store.blocks_appended",
     "store.adopts",
+    "store.adopts_fastpath",
     "store.sessions_adopted",
     "store.freezes",
     "store.npz_saves",
@@ -73,6 +74,11 @@ COUNTERS: Tuple[str, ...] = (
     "sketch.events_consumed",
     "sketch.store_sessions_ingested",
     "sketch.merges",
+    # Block session engine (repro.workload.blocks).
+    "emit.block.buffered_blocks",
+    "emit.block.buffered_rows",
+    "emit.block.flushes",
+    "emit.block.rows",
 )
 
 #: Gauges (``gauge_set`` — last value; ``gauge_max`` — high-water mark).
@@ -129,6 +135,7 @@ SPANS: Tuple[str, ...] = (
     "intermediates",
     "tables_4_5_6",
     "sketch/ingest",
+    "emit.block.flush",
 )
 
 #: Flight-recorder event kinds (``repro.obs.trace.emit`` and

@@ -21,7 +21,7 @@ import json
 import subprocess
 import time
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Span paths whose wall seconds are persisted per record (with any of
 #: their direct children); everything else is noise at trajectory scale.
@@ -105,9 +105,15 @@ def append_record(
             "store.sessions_appended", 0),
         "stage_seconds": stage_seconds(metrics),
     }
+    measures = [] if record["sessions_per_second"] is None \
+        else ["sessions_per_second"]
     streaming = streaming_events_per_second(metrics)
     if streaming is not None:
         record["streaming_events_per_second"] = streaming
+        measures.append("streaming_events_per_second")
+    # Label what this run actually measured, so a reader (or the gate)
+    # never mistakes a streaming-only row for a generation row.
+    record["measures"] = measures
     if context:
         record["context"] = dict(context)
     records = load_trajectory(path)
@@ -118,26 +124,53 @@ def append_record(
     return record
 
 
+#: Context keys that make two records comparable.  Records written before
+#: the block engine existed carry no ``emit_path`` — they all ran the
+#: scalar path, so a missing value reads as "scalar".
+COMPARISON_KEYS = ("scale", "workers", "backend", "emit_path")
+
+_CONTEXT_DEFAULTS = {"emit_path": "scalar"}
+
+
+def comparison_key(record: Dict) -> Tuple[str, ...]:
+    """The context tuple under which a record's throughput is comparable."""
+    ctx = record.get("context") or {}
+    return tuple(
+        str(ctx.get(key, _CONTEXT_DEFAULTS.get(key, "")))
+        for key in COMPARISON_KEYS
+    )
+
+
 def check_regression(
     records: List[Dict], threshold: float = 0.2
 ) -> Optional[str]:
     """A failure message when the newest run regressed vs its predecessor.
 
     Compares generation throughput (sessions/sec) of the last record
-    against the most recent earlier record that measured it; a drop of
-    more than ``threshold`` (fraction) is a regression.  Returns None when
-    there is nothing to compare or throughput held up.
+    against the most recent earlier record that measured it *under the
+    same context* (scale, workers, backend, emit path — see
+    :func:`comparison_key`); a drop of more than ``threshold`` (fraction)
+    is a regression.  Records measured under a different context — a new
+    scale, the other emit path — start their own comparison series, so a
+    scalar-reference row can never gate a block-path row or vice versa.
+    Returns None when there is nothing to compare or throughput held up.
     """
     measured = [r for r in records if r.get("sessions_per_second")]
-    if len(measured) < 2:
+    if not measured:
         return None
-    prev, last = measured[-2], measured[-1]
+    last = measured[-1]
+    key = comparison_key(last)
+    earlier = [r for r in measured[:-1] if comparison_key(r) == key]
+    if not earlier:
+        return None
+    prev = earlier[-1]
     before = float(prev["sessions_per_second"])
     after = float(last["sessions_per_second"])
     if after < before * (1.0 - threshold):
         return (
             f"generation throughput regressed "
-            f"{(1 - after / before):.1%} (> {threshold:.0%}): "
+            f"{(1 - after / before):.1%} (> {threshold:.0%}) "
+            f"under context {dict(zip(COMPARISON_KEYS, key))}: "
             f"{before:,.0f} -> {after:,.0f} sessions/sec "
             f"({prev.get('commit')} -> {last.get('commit')})"
         )

@@ -35,6 +35,24 @@ def derive_stream_seed(master_seed: int, name: str) -> int:
 _derive_seed = derive_stream_seed
 
 
+def weight_cdf(p) -> np.ndarray:
+    """Normalised cumulative distribution over weight vector ``p``.
+
+    This is exactly the array :meth:`RngStream.choice_indices` builds
+    internally for weighted draws with replacement; precomputing it once
+    and passing it back via the ``cdf=`` parameter skips the per-call
+    cumsum without changing a single drawn value.
+    """
+    p = np.asarray(p, dtype=np.float64)
+    if p.size == 0:
+        raise ValueError("cannot build a cdf over an empty weight vector")
+    cdf = np.cumsum(p, dtype=np.float64)
+    if cdf[-1] <= 0.0:
+        raise ValueError("choice weights must sum to a positive value")
+    cdf /= cdf[-1]
+    return cdf
+
+
 class RngStream:
     """A named, deterministic random stream backed by numpy's PCG64."""
 
@@ -134,6 +152,17 @@ class RngStream:
     def random_array(self, size: int) -> np.ndarray:
         return self._rng.random(size)
 
+    def randint_array(self, low, high) -> np.ndarray:
+        """Uniform integers in ``[low, high)``; ``high`` may be an array.
+
+        numpy's bounded-integer sampler consumes the bit stream element by
+        element exactly as a loop of scalar :meth:`randint` calls with the
+        same per-element bounds would, so replacing such a loop with one
+        batched call is draw-for-draw identical — the property the block
+        emission path's vectorised locality redirects rely on.
+        """
+        return self._rng.integers(low, high)
+
     def choice(self, seq: Sequence[T], p: Optional[Sequence[float]] = None) -> T:
         idx = int(self._rng.choice(len(seq), p=p))
         return seq[idx]
@@ -141,7 +170,14 @@ class RngStream:
     def choice_index(self, n: int, p: Optional[Sequence[float]] = None) -> int:
         return int(self._rng.choice(n, p=p))
 
-    def choice_indices(self, n: int, size: int, p=None, replace: bool = True) -> np.ndarray:
+    def choice_indices(
+        self,
+        n: int,
+        size: int,
+        p=None,
+        replace: bool = True,
+        cdf: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Index draws, optionally weighted / without replacement.
 
         The ``replace=True`` paths inline what ``Generator.choice`` does
@@ -149,14 +185,39 @@ class RngStream:
         lookup over ``random(size)`` with them — skipping its per-call
         argument validation.  The draw sequence is identical; this wrapper
         sits under every emitted session block.
+
+        ``cdf`` is the precomputed normalised cumulative of ``p`` (see
+        :func:`weight_cdf`); passing it skips the per-call cumsum while
+        drawing the exact same values.  ``size=0`` returns an empty array
+        without touching generator state, matching what numpy's size-0
+        draws do.
         """
+        if size == 0:
+            # numpy's own size-0 draws leave the bit generator untouched,
+            # so skipping the call entirely is byte-identical.
+            return np.empty(0, dtype=np.int64)
+        if n <= 0:
+            raise ValueError(f"cannot draw {size} indices from an empty pool (n={n})")
         gen = self._rng
         if replace:
+            if cdf is not None:
+                return cdf.searchsorted(gen.random(size), side="right")
             if p is None:
                 return gen.integers(0, n, size=size)
-            cdf = np.cumsum(p, dtype=np.float64)
-            cdf /= cdf[-1]
-            return cdf.searchsorted(gen.random(size), side="right")
+            return weight_cdf(p).searchsorted(gen.random(size), side="right")
+        if p is not None:
+            p = np.asarray(p, dtype=np.float64)
+            if p.size != n:
+                raise ValueError(f"weight vector has {p.size} entries for pool of {n}")
+            total = p.sum()
+            if total <= 0.0:
+                raise ValueError("choice weights must sum to a positive value")
+            # Generator.choice(replace=False) rejects weight sums more
+            # than sqrt(eps) from 1.0.  Renormalise only those (previously
+            # a crash): an unconditional divide would change the bits of
+            # every already-normalised caller.
+            if abs(total - 1.0) > float(np.sqrt(np.finfo(np.float64).eps)):
+                p = p / total
         return gen.choice(n, size=size, p=p, replace=replace)
 
     def sample(self, seq: Sequence[T], k: int) -> list:

@@ -2,7 +2,18 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Rolling-digest seed for an empty table.
+_EMPTY_CHAIN = b"\x00" * 16
+
+
+def _chain_step(chain: bytes, value: str) -> bytes:
+    """One step of the rolling content digest: H(prev || value)."""
+    h = hashlib.blake2b(chain, digest_size=16)
+    h.update(value.encode("utf-8", "surrogatepass"))
+    return h.digest()
 
 
 class StringTable:
@@ -10,11 +21,26 @@ class StringTable:
 
     Id 0 upward; lookups of unknown strings either raise or intern depending
     on the call used.  The table is append-only, so ids are stable.
+
+    The table also maintains a rolling content digest (``_chain``) updated
+    on every *new* intern, plus prefix marks recorded at :meth:`copy` time.
+    A mark ``(length, chain)`` proves what the first ``length`` entries
+    were when the fork happened; since tables are append-only, a copied
+    table whose mark matches one of ours remaps its shared prefix to the
+    identity without comparing a single string — the shard-merge fast path.
     """
 
     def __init__(self, initial: Optional[Iterable[str]] = None):
         self._strings: List[str] = []
         self._ids: Dict[str, int] = {}
+        self._chain: bytes = _EMPTY_CHAIN
+        #: Trusted prefix snapshots: length -> chain at that length.  Only
+        #: lengths at which a fork was taken are recorded, so the dict
+        #: stays tiny.
+        self._marks: Dict[int, bytes] = {}
+        #: The (length, chain) this table was forked at, or None for a
+        #: table built from scratch.
+        self._fork_mark: Optional[Tuple[int, bytes]] = None
         if initial:
             for s in initial:
                 self.intern(s)
@@ -27,6 +53,7 @@ class StringTable:
         new_id = len(self._strings)
         self._strings.append(value)
         self._ids[value] = new_id
+        self._chain = _chain_step(self._chain, value)
         return new_id
 
     def id_of(self, value: str) -> int:
@@ -49,8 +76,43 @@ class StringTable:
         return list(self._strings)
 
     def copy(self) -> "StringTable":
-        """An independent table with the same contents and ids."""
+        """An independent table with the same contents and ids.
+
+        Both sides record the fork point: the copy carries it as its
+        ``_fork_mark`` (pickled along if the copy crosses a process
+        boundary), the parent adds it to its trusted ``_marks`` so a later
+        :meth:`shares_prefix` check is one dict lookup.
+        """
         out = StringTable()
         out._strings = list(self._strings)
         out._ids = dict(self._ids)
+        out._chain = self._chain
+        out._fork_mark = (len(self._strings), self._chain)
+        self._marks[len(self._strings)] = self._chain
+        # A copy of a copy still shares the grandparent's prefix; keep the
+        # inherited marks so sibling forks recognise each other through
+        # the merge builder.
+        out._marks = dict(self._marks)
         return out
+
+    def shares_prefix(self, other: "StringTable") -> int:
+        """Length of ``other``'s prefix provably equal to ours (0 if unknown).
+
+        Non-zero only when ``other`` was forked (possibly in another
+        process) from a table whose state this table has a trusted mark
+        for — the common shard-merge shape.  Falls back to 0, never to a
+        wrong answer: the rolling 128-bit digest makes a false match
+        cryptographically implausible and append-only tables make a
+        recorded mark permanently valid.
+        """
+        mark = other._fork_mark
+        if mark is None:
+            return 0
+        length, chain = mark
+        if length > len(self._strings):
+            return 0
+        if self._marks.get(length) == chain:
+            return length
+        if len(self._strings) == length and self._chain == chain:
+            return length
+        return 0

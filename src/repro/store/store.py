@@ -12,6 +12,7 @@ tuples on the hot path.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -213,9 +214,26 @@ class HashIdColumn:
         )
 
 
+class HashBlockCsr:
+    """Pre-flattened per-row hash ids: CSR ``values`` + per-row ``lengths``.
+
+    The block-emission path accumulates hash ids in this shape so a merged
+    block append is two array extends instead of a per-row tuple walk.
+    """
+
+    __slots__ = ("values", "lengths")
+
+    def __init__(self, values: np.ndarray, lengths: np.ndarray):
+        self.values = np.asarray(values, dtype=np.int64)
+        self.lengths = np.asarray(lengths, dtype=np.int64)
+
+
 #: Per-row hash ids accepted by the block-append path: ``None`` (no row has
-#: hashes), one tuple (every row shares it), or a per-row sequence.
-HashIdsArg = Union[None, Tuple[int, ...], Sequence[Tuple[int, ...]]]
+#: hashes), one tuple (every row shares it), a per-row sequence, or a
+#: pre-flattened :class:`HashBlockCsr`.
+HashIdsArg = Union[
+    None, Tuple[int, ...], Sequence[Tuple[int, ...]], HashBlockCsr
+]
 
 _ID_COLUMNS_WITH_SENTINEL = {
     "script_id": "script",
@@ -225,7 +243,7 @@ _ID_COLUMNS_WITH_SENTINEL = {
 }
 
 
-def _remap_ids(remap: Sequence[int], ids: np.ndarray,
+def _remap_ids(remap: Union[Sequence[int], np.ndarray], ids: np.ndarray,
                sentinel: bool) -> np.ndarray:
     """Vectorised id remap; with ``sentinel`` the value -1 maps to itself."""
     table = np.asarray(remap, dtype=np.int32)
@@ -249,6 +267,17 @@ class StoreBuilder:
         self.versions = StringTable()
         self.scripts: List[CommandScript] = []
         self._script_ids: dict = {}
+        # Rolling script-list digest + fork marks, mirroring StringTable's
+        # prefix-mark machinery so script remaps get the same adopt fast
+        # path the string tables do.
+        self._scripts_chain: bytes = b"\x00" * 16
+        self._scripts_marks: Dict[int, bytes] = {}
+        self._scripts_fork_mark: Optional[Tuple[int, bytes]] = None
+        # Incrementally extended script-derived columns; build() only
+        # computes entries for scripts interned since the last build/fork.
+        self._script_cols: Tuple[int, np.ndarray, np.ndarray] = (
+            0, np.zeros(0, np.uint16), np.zeros(0, bool)
+        )
 
         self._cols: Dict[str, _ColumnChunks] = {
             name: _ColumnChunks(dtype)
@@ -276,6 +305,15 @@ class StoreBuilder:
         script_id = len(self.scripts)
         self.scripts.append(CommandScript(commands=commands, uris=uris))
         self._script_ids[key] = script_id
+        digest = hashlib.blake2b(self._scripts_chain, digest_size=16)
+        for command in commands:
+            digest.update(command.encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+        digest.update(b"\x01")
+        for uri in uris:
+            digest.update(uri.encode("utf-8", "surrogatepass"))
+            digest.update(b"\x00")
+        self._scripts_chain = digest.digest()
         return script_id
 
     # -- append paths ----------------------------------------------------------
@@ -411,6 +449,13 @@ class StoreBuilder:
         if hash_ids is None:
             self._hash_lengths.extend(np.zeros(n, np.int64))
             return
+        if isinstance(hash_ids, HashBlockCsr):
+            if len(hash_ids.lengths) != n:
+                raise ValueError("append_block sequences must share one length")
+            self._hash_lengths.extend(hash_ids.lengths)
+            if len(hash_ids.values):
+                self._hash_values.extend(hash_ids.values)
+            return
         if isinstance(hash_ids, tuple):
             # One tuple shared by every row of the block.
             k = len(hash_ids)
@@ -455,25 +500,86 @@ class StoreBuilder:
         out.versions = self.versions.copy()
         out.scripts = list(self.scripts)
         out._script_ids = dict(self._script_ids)
+        out._scripts_chain = self._scripts_chain
+        out._scripts_fork_mark = (len(self.scripts), self._scripts_chain)
+        self._scripts_marks[len(self.scripts)] = self._scripts_chain
+        out._scripts_marks = dict(self._scripts_marks)
+        out._script_cols = self._script_cols
         return out
 
-    def _table_remaps(self, other):
-        """Id-remap lists from ``other``'s tables into this builder's.
+    def _scripts_shared_prefix(self, other) -> int:
+        """Provably shared script-list prefix length with ``other`` (0 if unknown).
+
+        Mirrors :meth:`StringTable.shares_prefix`: ``other`` (a builder, or
+        a frozen store built by one) carries the fork mark of the script
+        list it started from; if we hold a trusted chain snapshot at that
+        length, the first ``length`` scripts are identical on both sides.
+        """
+        mark = getattr(other, "_scripts_fork_mark", None)
+        if mark is None:
+            return 0
+        length, chain = mark
+        if length > len(self.scripts):
+            return 0
+        if self._scripts_marks.get(length) == chain:
+            return length
+        if len(self.scripts) == length and self._scripts_chain == chain:
+            return length
+        return 0
+
+    @staticmethod
+    def _prefix_remap(shared: int, n_other: int, intern_tail) -> Tuple[np.ndarray, bool]:
+        """(remap array, is_identity) given a proven shared prefix length.
+
+        ``intern_tail`` interns the entries past the shared prefix and
+        returns their ids.  The remap is the identity when every entry maps
+        to its own index — the overwhelmingly common shard-merge case,
+        where the whole ``np.take`` gather can be skipped.
+        """
+        if shared == n_other:
+            return np.arange(n_other, dtype=np.int32), True
+        tail = np.asarray(intern_tail(shared), dtype=np.int32)
+        remap = np.concatenate((np.arange(shared, dtype=np.int32), tail))
+        is_identity = bool(
+            np.array_equal(tail, np.arange(shared, n_other, dtype=np.int32))
+        )
+        return remap, is_identity
+
+    def _table_remaps(self, other) -> Dict[str, Tuple[np.ndarray, bool]]:
+        """Id remaps from ``other``'s tables into this builder's.
 
         ``other`` is a builder or a frozen store (both expose the same
         table attributes).  Shared prefixes (e.g. after
         :meth:`fork_tables`) remap to themselves; new entries are interned
-        here, in ``other``'s order.
+        here, in ``other``'s order.  Each value is ``(remap_array,
+        is_identity)`` — prefix marks prove shared prefixes in O(1), so
+        the typical shard adopt never re-interns the base tables.
         """
-        return {
-            "honeypot": [self.honeypots.intern(v) for v in other.honeypots.values()],
-            "country": [self.countries.intern(v) for v in other.countries.values()],
-            "password": [self.passwords.intern(v) for v in other.passwords.values()],
-            "username": [self.usernames.intern(v) for v in other.usernames.values()],
-            "hash": [self.hashes.intern(v) for v in other.hashes.values()],
-            "version": [self.versions.intern(v) for v in other.versions.values()],
-            "script": [self.intern_script(s.commands, s.uris) for s in other.scripts],
-        }
+        out: Dict[str, Tuple[np.ndarray, bool]] = {}
+        pairs = (
+            ("honeypot", self.honeypots, other.honeypots),
+            ("country", self.countries, other.countries),
+            ("password", self.passwords, other.passwords),
+            ("username", self.usernames, other.usernames),
+            ("hash", self.hashes, other.hashes),
+            ("version", self.versions, other.versions),
+        )
+        for name, mine, theirs in pairs:
+            def intern_tail(shared, mine=mine, theirs=theirs):
+                return [mine.intern(v) for v in theirs.values()[shared:]]
+
+            out[name] = self._prefix_remap(
+                mine.shares_prefix(theirs), len(theirs), intern_tail
+            )
+        scripts = other.scripts
+        out["script"] = self._prefix_remap(
+            self._scripts_shared_prefix(other),
+            len(scripts),
+            lambda shared: [
+                self.intern_script(s.commands, s.uris) for s in scripts[shared:]
+            ],
+        )
+        return out
 
     def _column_arrays(self) -> Dict[str, np.ndarray]:
         """The accumulated fixed-dtype columns, concatenated."""
@@ -485,36 +591,52 @@ class StoreBuilder:
 
     def _adopt_arrays(
         self,
-        remap: Dict[str, List[int]],
+        remap: Dict[str, Tuple[np.ndarray, bool]],
         columns: Dict[str, np.ndarray],
         hash_values: np.ndarray,
         hash_lengths: np.ndarray,
     ) -> None:
-        """Append whole remapped columns (the vectorised adopt core)."""
+        """Append whole remapped columns (the vectorised adopt core).
+
+        Columns whose remap is the identity are adopted as-is — with
+        prefix-marked tables (the shard-merge shape) that is every column,
+        so the adopt degenerates to plain chunk extends.
+        """
         n = len(columns["start_time"])
         cols = self._cols
+        _REMAP_KEYS = {"honeypot": "honeypot", "client_country": "country"}
+        all_identity = True
         for name in STORE_COLUMN_DTYPES:
-            if name == "honeypot":
-                cols[name].extend(_remap_ids(remap["honeypot"],
-                                             columns[name], sentinel=False))
-            elif name == "client_country":
-                cols[name].extend(_remap_ids(remap["country"],
-                                             columns[name], sentinel=False))
+            if name in _REMAP_KEYS:
+                table, identity = remap[_REMAP_KEYS[name]]
+                sentinel = False
             elif name in _ID_COLUMNS_WITH_SENTINEL:
-                key = _ID_COLUMNS_WITH_SENTINEL[name]
-                cols[name].extend(_remap_ids(remap[key], columns[name],
-                                             sentinel=True))
+                table, identity = remap[_ID_COLUMNS_WITH_SENTINEL[name]]
+                sentinel = True
             else:
                 cols[name].extend(columns[name])
+                continue
+            if identity:
+                cols[name].extend(columns[name])
+            else:
+                all_identity = False
+                cols[name].extend(_remap_ids(table, columns[name], sentinel))
         self._hash_lengths.extend(hash_lengths)
         if len(hash_values):
-            self._hash_values.extend(
-                np.take(np.asarray(remap["hash"], np.int64), hash_values)
-            )
+            hash_table, hash_identity = remap["hash"]
+            if hash_identity:
+                self._hash_values.extend(hash_values)
+            else:
+                all_identity = False
+                self._hash_values.extend(
+                    np.take(hash_table.astype(np.int64), hash_values)
+                )
         self._n_rows += n
         metrics = get_metrics()
         metrics.inc("store.adopts")
         metrics.inc("store.sessions_adopted", n)
+        if all_identity:
+            metrics.inc("store.adopts_fastpath")
 
     def adopt(self, other: "StoreBuilder") -> None:
         """Append all of ``other``'s rows, remapping its interned ids.
@@ -552,10 +674,7 @@ class StoreBuilder:
         n_commands = np.zeros(self._n_rows, dtype=np.uint16)
         has_uri = np.zeros(self._n_rows, dtype=bool)
         if len(self.scripts):
-            script_lengths = np.array(
-                [min(len(s.commands), 65535) for s in self.scripts], dtype=np.uint16
-            )
-            script_has_uri = np.array([s.has_uri for s in self.scripts], dtype=bool)
+            script_lengths, script_has_uri = self._script_columns()
             mask = script_id >= 0
             n_commands[mask] = script_lengths[script_id[mask]]
             has_uri[mask] = script_has_uri[script_id[mask]]
@@ -575,10 +694,32 @@ class StoreBuilder:
             scripts=list(self.scripts),
             **columns,
         )
+        # Scripts provenance for the adopt fast path: the frozen store
+        # carries the builder's fork mark so a parent that holds the
+        # matching chain snapshot skips re-interning the shared prefix.
+        # (Lost through an npz round trip — loads fall back to the slow,
+        # always-correct remap.)
+        store._scripts_fork_mark = self._scripts_fork_mark
         metrics = get_metrics()
         metrics.inc("store.freezes")
         metrics.observe("store.freeze_seconds", watch.elapsed())
         return store
+
+    def _script_columns(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-script (command count, has_uri) arrays, extended incrementally."""
+        count, lengths_arr, uri_arr = self._script_cols
+        if count != len(self.scripts):
+            new = self.scripts[count:]
+            lengths_arr = np.concatenate((
+                lengths_arr,
+                np.array([min(len(s.commands), 65535) for s in new],
+                         dtype=np.uint16),
+            ))
+            uri_arr = np.concatenate((
+                uri_arr, np.array([s.has_uri for s in new], dtype=bool)
+            ))
+            self._script_cols = (len(self.scripts), lengths_arr, uri_arr)
+        return lengths_arr, uri_arr
 
 
 class SessionStore:

@@ -93,6 +93,7 @@ class CampaignEngine:
         self._locality_cache: Dict[
             str, Tuple[Dict[object, np.ndarray], Dict[str, np.ndarray]]
         ] = {}
+        self._locality_csr: Dict[str, Tuple[np.ndarray, ...]] = {}
 
     # -- realisation ------------------------------------------------------------
 
@@ -393,6 +394,46 @@ class CampaignEngine:
         self._locality_cache[campaign.spec.campaign_id] = cached
         return cached
 
+    def _locality_pools(self, campaign: RealizedCampaign) -> Tuple[np.ndarray, ...]:
+        """CSR locality pools per *population* country index.
+
+        ``(flat, c_off, c_len, k_off, k_len)``: for a client from country
+        index ``i``, the campaign subset's same-country pots are
+        ``flat[c_off[i]:c_off[i]+c_len[i]]`` and its same-continent pots
+        ``flat[k_off[i]:k_off[i]+k_len[i]]``.  Derived purely from the
+        cached :meth:`_locality_subsets` grouping — consumes no RNG.
+        """
+        cached = self._locality_csr.get(campaign.spec.campaign_id)
+        if cached is not None:
+            return cached
+        by_continent, by_country = self._locality_subsets(campaign)
+        codes = self.population.country_codes
+        n = len(codes)
+        flat_parts = []
+        c_off = np.zeros(n, np.int64)
+        c_len = np.zeros(n, np.int64)
+        k_off = np.zeros(n, np.int64)
+        k_len = np.zeros(n, np.int64)
+        pos = 0
+        for i, cc in enumerate(codes):
+            pool = by_country.get(cc)
+            if pool is not None and len(pool):
+                c_off[i] = pos
+                c_len[i] = len(pool)
+                flat_parts.append(pool)
+                pos += len(pool)
+        for i, cc in enumerate(codes):
+            pool = by_continent.get(continent_of(cc))
+            if pool is not None and len(pool):
+                k_off[i] = pos
+                k_len[i] = len(pool)
+                flat_parts.append(pool)
+                pos += len(pool)
+        flat = np.concatenate(flat_parts) if flat_parts else np.zeros(0, np.int32)
+        cached = (flat, c_off, c_len, k_off, k_len)
+        self._locality_csr[campaign.spec.campaign_id] = cached
+        return cached
+
     def _choose_pots(
         self,
         rng: RngStream,
@@ -414,19 +455,19 @@ class CampaignEngine:
         if not locality_bias or bias <= 0:
             return pots
         redirect = rng.random_array(m)
-        if not (redirect < bias).any():
+        hit = np.flatnonzero(redirect < bias)
+        if hit.size == 0:
             return pots
-        subset_by_continent, subset_by_country = self._locality_subsets(campaign)
-        codes = self.population.country_codes
-        for i in range(m):
-            if redirect[i] >= bias:
-                continue
-            client_cc = codes[int(self.population.country[clients[i]])]
-            same_country = subset_by_country.get(client_cc)
-            if redirect[i] < 0.4 * bias and same_country is not None and len(same_country):
-                pots[i] = int(same_country[rng.randint(0, len(same_country))])
-                continue
-            members = subset_by_continent.get(continent_of(client_cc))
-            if members is not None and len(members):
-                pots[i] = int(members[rng.randint(0, len(members))])
+        # One batched varying-bound draw covers every redirected session;
+        # numpy's bounded-integer sampler makes it bit-identical to the
+        # scalar per-session randint loop this replaced.
+        flat, c_off, c_len, k_off, k_len = self._locality_pools(campaign)
+        ci = self.population.country[clients[hit]].astype(np.int64)
+        use_country = (redirect[hit] < 0.4 * bias) & (c_len[ci] > 0)
+        bounds = np.where(use_country, c_len[ci], k_len[ci])
+        offs = np.where(use_country, c_off[ci], k_off[ci])
+        drawable = bounds > 0
+        if drawable.any():
+            picks = rng.randint_array(0, bounds[drawable])
+            pots[hit[drawable]] = flat[offs[drawable] + picks]
         return pots

@@ -16,7 +16,7 @@ from repro.agents.credentials import (
     SUCCESSFUL_PASSWORDS,
 )
 from repro.honeypot.protocol import COMMON_CLIENT_VERSIONS
-from repro.simulation.rng import RngStream
+from repro.simulation.rng import RngStream, weight_cdf
 from repro.store.store import HashIdsArg, StoreBuilder
 
 
@@ -47,17 +47,24 @@ class SessionEmitter:
         self.fail_user_weights = w / w.sum()
 
         self.root_id = builder.usernames.intern("root")
+        self.root_pw_id = builder.passwords.intern("root")
 
         self.version_ids = np.array(
             [builder.versions.intern(v) for v in COMMON_CLIENT_VERSIONS],
             dtype=np.int32,
         )
 
+        # Precomputed inverse CDFs: choice_indices(cdf=...) draws the exact
+        # same values as the p= spelling while skipping the per-call cumsum.
+        self._success_pw_cdf = weight_cdf(self.success_pw_weights)
+        self._fail_pw_cdf = weight_cdf(self.fail_pw_weights)
+        self._fail_user_cdf = weight_cdf(self.fail_user_weights)
+
     # -- samplers -------------------------------------------------------------
 
     def success_passwords(self, rng: RngStream, n: int) -> np.ndarray:
         idx = rng.choice_indices(len(self.success_pw_ids), size=n,
-                                 p=self.success_pw_weights)
+                                 cdf=self._success_pw_cdf)
         return self.success_pw_ids[np.asarray(idx)]
 
     def fail_credentials(self, rng: RngStream, n: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -69,12 +76,11 @@ class SessionEmitter:
         non_root = rng.random_array(n) < 0.55
         users = np.full(n, self.root_id, dtype=np.int32)
         idx = rng.choice_indices(len(self.fail_user_ids), size=n,
-                                 p=self.fail_user_weights)
+                                 cdf=self._fail_user_cdf)
         users[non_root] = self.fail_user_ids[np.asarray(idx)][non_root]
-        pw_root = self.builder.passwords.intern("root")
-        passwords = np.full(n, pw_root, dtype=np.int32)
+        passwords = np.full(n, self.root_pw_id, dtype=np.int32)
         idx = rng.choice_indices(len(self.fail_pw_ids), size=n,
-                                 p=self.fail_pw_weights)
+                                 cdf=self._fail_pw_cdf)
         passwords[non_root] = self.fail_pw_ids[np.asarray(idx)][non_root]
         return users, passwords
 
@@ -128,3 +134,48 @@ class SessionEmitter:
             close_reason_id=close_reason,
             version_id=version_id,
         )
+
+    def append_row(
+        self,
+        start_time: float,
+        duration: float,
+        honeypot_id: int,
+        protocol: int,
+        client_ip: int,
+        client_asn: int,
+        client_country_id: int,
+        n_attempts: int,
+        login_success: bool,
+        script_id: int = -1,
+        password_id: int = -1,
+        username_id: int = -1,
+        hash_ids: Tuple[int, ...] = (),
+        close_reason_id: int = 0,
+        version_id: int = -1,
+    ) -> None:
+        """One pre-interned scalar row (the singleton-writer path).
+
+        The scalar emitter forwards straight to the builder; the block
+        emitter overrides this to buffer the row into its pending block so
+        singleton sessions ride the same single flush as everything else.
+        """
+        self.builder.append_interned(
+            start_time=start_time,
+            duration=duration,
+            honeypot_id=honeypot_id,
+            protocol=protocol,
+            client_ip=client_ip,
+            client_asn=client_asn,
+            client_country_id=client_country_id,
+            n_attempts=n_attempts,
+            login_success=login_success,
+            script_id=script_id,
+            password_id=password_id,
+            username_id=username_id,
+            hash_ids=hash_ids,
+            close_reason_id=close_reason_id,
+            version_id=version_id,
+        )
+
+    def flush(self) -> None:
+        """No-op on the scalar path (rows reach the builder immediately)."""

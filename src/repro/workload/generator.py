@@ -38,10 +38,10 @@ from repro.obs import trace as _trace
 from repro.obs.trace import emit_block as _trace_block
 from repro.simulation.rng import RngStream
 from repro.store.store import StoreBuilder
+from repro.workload.blocks import make_emitter
 from repro.workload.campaign_engine import CampaignEngine, RealizedCampaign, URI_KINDS
 from repro.workload.config import SSH_SHARE, ScenarioConfig
 from repro.workload.dataset import CampaignRuntime, HoneyfarmDataset
-from repro.workload.emit import SessionEmitter
 from repro.workload.samplers import (
     cmd_fields,
     fail_log_fields,
@@ -150,7 +150,7 @@ class TraceGenerator:
         for code in self.population.country_codes:
             self.builder.countries.intern(code)
 
-        self.emitter = SessionEmitter(self.builder, self.rng.child("emitter"))
+        self.emitter = make_emitter(self.builder, self.rng.child("emitter"))
         session_w, client_w, hash_w = honeypot_weight_vectors(
             self.rng.child("potweights"), self.n_pots
         )
@@ -187,6 +187,7 @@ class TraceGenerator:
         self._day_buckets: Dict[str, List[List[int]]] = {}
         self._campaign_sessions = {"CMD": 0, "CMD_URI": 0}
         self.realized: List[RealizedCampaign] = []
+        self._locality_cache: Optional[Tuple[np.ndarray, ...]] = None
 
     # -- client activity calendar --------------------------------------------
 
@@ -578,7 +579,7 @@ class TraceGenerator:
                     rng, 1, np.array([profile.exec_seconds])
                 )
                 protocol = protocol_array(rng, 1, SSH_SHARE["CMD"])
-                self.builder.append_interned(
+                self.emitter.append_row(
                     start_time=float(start),
                     duration=float(duration[0]),
                     honeypot_id=pot,
@@ -619,7 +620,9 @@ class TraceGenerator:
         return cmd_clients[np.asarray(picked)]
 
     def _singleton_writer_rng(self, w: int) -> RngStream:
-        return self.rng.child("singletons").child(f"w{w}")
+        # Composed-name construction: identical stream (and draws) to
+        # .child("singletons").child(f"w{w}") at half the derivations.
+        return RngStream(self.rng.master_seed, f"{self.rng.name}.singletons.w{w}")
 
     def _singleton_writer_plan(self, wrng: RngStream, w: int) -> Tuple[int, int]:
         """(target pot, session count) for one writer — first draws on its stream."""
@@ -658,7 +661,7 @@ class TraceGenerator:
                 wrng, 1, np.array([profile.exec_seconds])
             )
             protocol = protocol_array(wrng, 1, SSH_SHARE["CMD"])
-            self.builder.append_interned(
+            self.emitter.append_row(
                 start_time=float(start),
                 duration=float(duration[0]),
                 honeypot_id=pot,
@@ -837,32 +840,73 @@ class TraceGenerator:
         _metric_inc("generator.days.CMD_URI")
         _trace_block("bg_uri", day, m)
 
+    def _locality_tables(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray, np.ndarray]:
+        """CSR pot pools per population country index.
+
+        ``(flat, c_off, c_len, k_off, k_len)``: country ``i``'s same-country
+        pots are ``flat[c_off[i]:c_off[i]+c_len[i]]``, its same-continent
+        pots ``flat[k_off[i]:k_off[i]+k_len[i]]``.  Pure function of the
+        deployment and population — consumes no RNG.
+        """
+        cache = self._locality_cache
+        if cache is None:
+            from repro.geo.continents import continent_of
+
+            codes = self.population.country_codes
+            n = len(codes)
+            flat_parts: List[np.ndarray] = []
+            c_off = np.zeros(n, np.int64)
+            c_len = np.zeros(n, np.int64)
+            k_off = np.zeros(n, np.int64)
+            k_len = np.zeros(n, np.int64)
+            pos = 0
+            for i, cc in enumerate(codes):
+                pool = self.target_index.pots_in_country(cc)
+                c_off[i] = pos
+                c_len[i] = len(pool)
+                if len(pool):
+                    flat_parts.append(pool)
+                    pos += len(pool)
+            for i, cc in enumerate(codes):
+                pool = self.target_index.pots_on_continent(continent_of(cc))
+                k_off[i] = pos
+                k_len[i] = len(pool)
+                if len(pool):
+                    flat_parts.append(pool)
+                    pos += len(pool)
+            flat = (np.concatenate(flat_parts) if flat_parts
+                    else np.zeros(0, np.int32))
+            cache = self._locality_cache = (flat, c_off, c_len, k_off, k_len)
+        return cache
+
     def _local_biased_pots(self, rng: RngStream, idx: np.ndarray) -> np.ndarray:
         """Target choice with the CMD+URI locality bias (Fig 16b).
 
         URI attackers pick closer targets: a share of their sessions is
         redirected to a honeypot in the client's own country when the farm
-        has one, else to one on its continent.
+        has one, else to one on its continent.  One batched varying-bound
+        ``randint_array`` covers every redirected session; the draws are
+        bit-identical to the scalar per-session loop it replaced
+        (``RngStream.randint_array``).
         """
-        from repro.geo.continents import continent_of
-
         pots = self._pots_for(rng, idx)
         bias = self.config.uri_locality_bias
         if bias <= 0:
             return pots
         u = rng.random_array(len(idx))
-        codes = self.population.country_codes
-        for i in range(len(idx)):
-            if u[i] >= bias:
-                continue
-            cc = codes[int(self.population.country[idx[i]])]
-            same_country = self.target_index.pots_in_country(cc)
-            if u[i] < 0.4 * bias and len(same_country):
-                pots[i] = int(same_country[rng.randint(0, len(same_country))])
-                continue
-            members = self.target_index.pots_on_continent(continent_of(cc))
-            if len(members):
-                pots[i] = int(members[rng.randint(0, len(members))])
+        hit = np.flatnonzero(u < bias)
+        if hit.size == 0:
+            return pots
+        flat, c_off, c_len, k_off, k_len = self._locality_tables()
+        ci = self.population.country[idx[hit]].astype(np.int64)
+        use_country = (u[hit] < 0.4 * bias) & (c_len[ci] > 0)
+        bounds = np.where(use_country, c_len[ci], k_len[ci])
+        offs = np.where(use_country, c_off[ci], k_off[ci])
+        drawable = bounds > 0
+        if drawable.any():
+            picks = rng.randint_array(0, bounds[drawable])
+            pots[hit[drawable]] = flat[offs[drawable] + picks]
         return pots
 
     # -- orchestration ---------------------------------------------------------------
@@ -909,6 +953,7 @@ class TraceGenerator:
                 self._emit_fail_log()
                 self._emit_no_cmd()
             with metrics.span("freeze"):
+                self.emitter.flush()
                 store = self.builder.build()
         return self._finalize(store)
 

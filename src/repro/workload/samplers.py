@@ -20,6 +20,7 @@ import numpy as np
 from repro.honeypot.session import CloseReason
 from repro.store.store import _CLOSE_REASON_IDS
 from repro.simulation.rng import RngStream
+from repro.workload.blocks import TransitionTable
 
 CLOSE_CLIENT = _CLOSE_REASON_IDS[CloseReason.CLIENT_DISCONNECT.value]
 CLOSE_AUTH_TIMEOUT = _CLOSE_REASON_IDS[CloseReason.AUTH_TIMEOUT.value]
@@ -29,6 +30,13 @@ CLOSE_EXIT = _CLOSE_REASON_IDS[CloseReason.CLIENT_EXIT.value]
 
 NO_LOGIN_TIMEOUT = 120.0
 IDLE_TIMEOUT = 180.0
+
+# Auth-phase attempt-count transition rows (P[1, 2, 3 attempts]), with
+# their CDFs built once at import: batched draws through TransitionTable
+# are value-identical to the old inline ``p=[...]`` spelling.
+FAIL_LOG_ATTEMPTS = TransitionTable([0.24, 0.16, 0.60])
+NO_CMD_ATTEMPTS = TransitionTable([0.72, 0.19, 0.09])
+CMD_ATTEMPTS = TransitionTable([0.70, 0.20, 0.10])
 
 
 def no_cred_fields(rng: RngStream, n: int) -> Tuple[np.ndarray, np.ndarray]:
@@ -45,9 +53,7 @@ def fail_log_fields(
     rng: RngStream, n: int, is_ssh: np.ndarray
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(durations, close_reason_ids, n_attempts) for FAIL_LOG sessions."""
-    attempts = np.asarray(
-        rng.choice_indices(3, size=n, p=[0.24, 0.16, 0.60]), dtype=np.uint16
-    ) + 1
+    attempts = FAIL_LOG_ATTEMPTS.sample(rng, n).astype(np.uint16) + 1
     per_try = rng.uniform_array(1.5, 6.0, n)
     duration = attempts * per_try + rng.uniform_array(0.4, 2.5, n)
     server_closed = (attempts == 3) & is_ssh & (rng.random_array(n) < 0.35)
@@ -57,9 +63,7 @@ def fail_log_fields(
 
 def no_cmd_fields(rng: RngStream, n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """(durations, close_reason_ids, n_attempts) for NO_CMD sessions."""
-    attempts = np.asarray(
-        rng.choice_indices(3, size=n, p=[0.72, 0.19, 0.09]), dtype=np.uint16
-    ) + 1
+    attempts = NO_CMD_ATTEMPTS.sample(rng, n).astype(np.uint16) + 1
     login_delay = rng.uniform_array(2.0, 10.0, n)
     timed_out = rng.random_array(n) < 0.92
     duration = np.where(
@@ -79,9 +83,7 @@ def cmd_fields(
     ``exec_seconds`` is each session's script execution time (think time
     plus any download transfer time from the profiled script run).
     """
-    attempts = np.asarray(
-        rng.choice_indices(3, size=n, p=[0.70, 0.20, 0.10]), dtype=np.uint16
-    ) + 1
+    attempts = CMD_ATTEMPTS.sample(rng, n).astype(np.uint16) + 1
     jitter = rng.lognormal_array(0.0, 0.35, n)
     base = rng.uniform_array(2.0, 12.0, n) + exec_seconds * jitter
     u = rng.random_array(n)

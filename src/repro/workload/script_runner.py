@@ -13,10 +13,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.agents.scripts import ScriptKind, ScriptTemplate
+from repro.honeypot.filesystem import FakeFilesystem
 from repro.honeypot.honeypot import Honeypot, HoneypotConfig
 from repro.honeypot.protocol import Protocol
 from repro.honeypot.session import SessionConfig
+from repro.honeypot.shell.context import ShellContext
 from repro.honeypot.shell.resolver import StaticPayloadResolver
+from repro.honeypot.shell.shell import EmulatedShell
 from repro.obs.trace import use_tracer
 from repro.simulation.engine import Event, SimulationEngine
 
@@ -69,15 +72,78 @@ class ScriptRunner:
         honeypot session is a per-process measurement detail (cached, so a
         second worker legitimately re-profiles), and its events would make
         the workload trace worker-count-variant.
+
+        This is the fast path: the script runs straight through the
+        emulated shell, skipping the event engine and session state
+        machine, which only wrap the shell with fixed timestamps during
+        profiling.  :meth:`profile_via_engine` keeps the full-machinery
+        reference; a differential test holds the two identical.
         """
         key = (template.kind, template.token, tuple(template.lines))
         cached = self._cache.get(key)
         if cached is not None:
             return cached
         with use_tracer(None):
-            profile = self._profile_uncached(template)
+            profile = self._profile_fast(template)
         self._cache[key] = profile
         return profile
+
+    def _profile_fast(self, template: ScriptTemplate) -> ScriptProfile:
+        """Profile by driving the emulated shell directly.
+
+        Replays exactly what the engine-driven reference does to the
+        shell: login at t=1, one input line every ``THINK_TIME_PER_LINE``
+        seconds starting at t=2, stop when a line requests exit.  Command
+        records, URI ordering, hash ordering and download durations are
+        identical because the shell is the only machinery that produces
+        them.
+        """
+        if template.dropper_uri and template.payload is not None:
+            self._register_payload_uris(template)
+
+        context = ShellContext(fs=FakeFilesystem(), resolver=self.resolver)
+        shell = EmulatedShell(context)
+        commands: List[str] = []
+        uris: List[str] = []
+        unique_hashes: List[str] = []
+        when = 2.0
+        for line in template.lines:
+            context.now = when
+            result = shell.execute(line)
+            for record in result.commands:
+                commands.append(record.text)
+                for uri in record.uris:
+                    if uri not in uris:
+                        uris.append(uri)
+            for change in result.file_changes:
+                if change.sha256 not in unique_hashes:
+                    unique_hashes.append(change.sha256)
+            when += THINK_TIME_PER_LINE
+            if result.exit_requested:
+                # The session closed on the client's `exit`: the rest of
+                # the typed input never arrives.
+                break
+        download_seconds = sum(
+            d.duration for d in context.downloads if d.success
+        )
+        return ScriptProfile(
+            kind=template.kind,
+            token=template.token,
+            commands=tuple(commands),
+            uris=tuple(uris),
+            hashes=tuple(unique_hashes),
+            exec_seconds=len(template.lines) * THINK_TIME_PER_LINE + download_seconds,
+            download_seconds=download_seconds,
+        )
+
+    def profile_via_engine(self, template: ScriptTemplate) -> ScriptProfile:
+        """Reference profile through the full session/event machinery.
+
+        Uncached and an order of magnitude slower than :meth:`profile`;
+        kept as the differential oracle for the fast path.
+        """
+        with use_tracer(None):
+            return self._profile_uncached(template)
 
     def _profile_uncached(self, template: ScriptTemplate) -> ScriptProfile:
         if template.dropper_uri and template.payload is not None:

@@ -23,9 +23,9 @@ import numpy as np
 from repro.obs import get_metrics, use_metrics
 from repro.obs import trace as _trace
 from repro.store.store import SessionStore
+from repro.workload.blocks import make_emitter
 from repro.workload.config import ScenarioConfig
 from repro.workload.dataset import HoneyfarmDataset
-from repro.workload.emit import SessionEmitter
 from repro.workload.generator import TraceGenerator, _daily_budgets
 
 #: Days per background/campaign shard. Fixed — never derived from the
@@ -34,6 +34,15 @@ DAY_CHUNK = 32
 
 #: Singleton writers per shard.
 WRITER_CHUNK = 64
+
+#: Bounds for the adaptive per-shard session target: coarse enough that
+#: per-shard fork/merge overhead stays invisible, fine enough that a pool
+#: still has shards to balance.  The target itself is derived from the
+#: *planned* session total only — never from the worker count — so the
+#: shard list remains a pure function of the config.
+_MIN_SHARD_SESSIONS = 256
+_MAX_SHARD_SESSIONS = 1 << 18
+_TARGET_SHARDS = 48
 
 #: Background categories in their serial emission order; values are the
 #: rng-stream names (which double as shard keys).
@@ -104,27 +113,99 @@ class ShardPlan:
         self.ru, self.ru_pots = gen._no_cmd_setup(gen.rng.child("no_cmd"))
         self.shards = self._enumerate()
 
+    def _shard_target(self) -> int:
+        """Adaptive per-shard session target (see module constants).
+
+        Derived from the planned totals only, so it is identical in every
+        process for a given config.
+        """
+        total = sum(r.total_sessions for r in self.gen.realized)
+        total += len(self.writers)  # one-session floor per writer
+        total += int(sum(int(b.sum()) for b in self.budgets.values()))
+        return min(max(total // _TARGET_SHARDS, _MIN_SHARD_SESSIONS),
+                   _MAX_SHARD_SESSIONS)
+
     def _enumerate(self) -> List[Shard]:
+        """Shards in serial emission order, coarsened to ``_shard_target``.
+
+        Every per-day / per-writer draw already comes from its own named
+        rng stream, so shard boundaries never change drawn values — only
+        how much fork/merge bookkeeping the run pays.  Consecutive small
+        campaigns collapse into ``campaign_group`` shards (a realized-list
+        index range); large campaigns split at day positions where the
+        accumulated schedule crosses the target; background categories use
+        greedy day ranges over their daily budgets.  Merge order equals
+        enumeration order equals the serial emission order, so the merged
+        store is byte-identical at any granularity.
+        """
+        target = self._shard_target()
         shards: List[Shard] = []
-        for r in self.gen.realized:
-            days = sorted(r.schedule)
-            for lo in range(0, len(days), DAY_CHUNK):
+
+        realized = self.gen.realized
+        group_start: Optional[int] = None
+        group_sessions = 0
+
+        def close_group(stop: int) -> None:
+            nonlocal group_start, group_sessions
+            if group_start is not None:
                 shards.append(Shard(
-                    "campaign", r.spec.campaign_id,
-                    lo, min(lo + DAY_CHUNK, len(days)),
+                    "campaign_group", f"{group_start}:{stop}",
+                    group_start, stop,
                 ))
-        for lo in range(0, len(self.writers), WRITER_CHUNK):
+                group_start = None
+                group_sessions = 0
+
+        for pos, r in enumerate(realized):
+            if r.total_sessions >= target:
+                close_group(pos)
+                days = sorted(r.schedule)
+                lo = 0
+                acc = 0
+                for j, day in enumerate(days):
+                    acc += r.schedule[day]
+                    if acc >= target and j + 1 < len(days):
+                        shards.append(Shard(
+                            "campaign", r.spec.campaign_id, lo, j + 1
+                        ))
+                        lo = j + 1
+                        acc = 0
+                if lo < len(days):
+                    shards.append(Shard(
+                        "campaign", r.spec.campaign_id, lo, len(days)
+                    ))
+                continue
+            if group_start is None:
+                group_start = pos
+            group_sessions += r.total_sessions
+            if group_sessions >= target:
+                close_group(pos + 1)
+        close_group(len(realized))
+
+        writer_chunk = max(1, min(len(self.writers), target))
+        for lo in range(0, len(self.writers), writer_chunk):
             shards.append(Shard(
                 "singletons", "singletons",
-                lo, min(lo + WRITER_CHUNK, len(self.writers)),
+                lo, min(lo + writer_chunk, len(self.writers)),
             ))
+
         n_days = self.gen.config.n_days
         for cat in _BACKGROUND:
             budgets = self.budgets[cat]
-            for lo in range(0, n_days, DAY_CHUNK):
-                hi = min(lo + DAY_CHUNK, n_days)
-                if budgets[lo:hi].sum() > 0:
-                    shards.append(Shard(cat, cat, lo, hi))
+            lo = None
+            acc = 0
+            for day in range(n_days):
+                n = int(budgets[day])
+                if n <= 0 and lo is None:
+                    continue
+                if lo is None:
+                    lo = day
+                acc += n
+                if acc >= target:
+                    shards.append(Shard(cat, cat, lo, day + 1))
+                    lo = None
+                    acc = 0
+            if lo is not None and acc > 0:
+                shards.append(Shard(cat, cat, lo, n_days))
         return shards
 
     def shard_cost(self, shard: Shard) -> float:
@@ -136,6 +217,11 @@ class ShardPlan:
             return float(sum(
                 campaign.schedule[day]
                 for day in days[shard.start:shard.stop]
+            ))
+        if shard.kind == "campaign_group":
+            return float(sum(
+                r.total_sessions
+                for r in self.gen.realized[shard.start:shard.stop]
             ))
         if shard.kind == "singletons":
             # One session per writer is the plan's floor; close enough to
@@ -158,7 +244,7 @@ def emit_shard(plan: ShardPlan, shard: Shard) -> SessionStore:
 def _emit_shard_body(plan: ShardPlan, shard: Shard) -> SessionStore:
     gen = plan.gen
     fork = gen.builder.fork_tables()
-    emitter = SessionEmitter(fork, gen.rng.child("emitter"))
+    emitter = make_emitter(fork, gen.rng.child("emitter"))
     saved = (gen.builder, gen.emitter, gen.engine.emitter)
     gen.builder = fork
     gen.emitter = emitter
@@ -171,6 +257,10 @@ def _emit_shard_body(plan: ShardPlan, shard: Shard) -> SessionStore:
                 gen.engine.emit_campaign_day(
                     campaign, day, campaign.schedule[day]
                 )
+        elif shard.kind == "campaign_group":
+            for r in plan.gen.realized[shard.start:shard.stop]:
+                for day in sorted(r.schedule):
+                    gen.engine.emit_campaign_day(r, day, r.schedule[day])
         elif shard.kind == "singletons":
             for w in plan.writers[shard.start:shard.stop]:
                 gen._singleton_writer_emit(int(w))
@@ -203,6 +293,7 @@ def _emit_shard_body(plan: ShardPlan, shard: Shard) -> SessionStore:
                     raise ValueError(f"unknown shard kind: {shard.kind}")
     finally:
         gen.builder, gen.emitter, gen.engine.emitter = saved
+    emitter.flush()
     return fork.build()
 
 

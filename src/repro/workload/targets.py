@@ -34,8 +34,15 @@ class TargetSet:
         """Vectorised :meth:`choose` for a batch of uniform draws.
 
         ``searchsorted(side="left")`` is exactly ``bisect_left``, so this
-        returns the same pots the scalar path would, draw for draw.
+        returns the same pots the scalar path would, draw for draw.  An
+        empty draw batch returns an empty array; an empty target set is an
+        error rather than an out-of-bounds read.
         """
+        u = np.asarray(u)
+        if u.size == 0:
+            return self.pots[:0]
+        if self.pots.size == 0:
+            raise ValueError("cannot choose from an empty target set")
         return self.pots[np.searchsorted(self.cumulative, u, side="left")]
 
 

@@ -269,6 +269,29 @@ def test_every_sketch_instrument_is_declared():
     assert obs_names.is_declared("sketch/ingest", obs_names.SPANS)
 
 
+def test_every_block_engine_instrument_is_declared():
+    # The block emission engine's instrument names (repro.workload.blocks)
+    # must stay in sync with the obs.names registry, same contract as the
+    # sketch families above.
+    for name in ("emit.block.buffered_blocks", "emit.block.buffered_rows",
+                 "emit.block.flushes", "emit.block.rows"):
+        assert obs_names.is_declared(name, obs_names.COUNTERS), name
+    assert obs_names.is_declared("emit.block.flush", obs_names.SPANS)
+
+
+def test_undeclared_block_engine_counter_fails_lint(tmp_path):
+    p = tmp_path / "blocks_ext.py"
+    p.write_text(
+        "from repro.obs import get_metrics\n"
+        "def f():\n"
+        "    get_metrics().inc('emit.block.bogus')\n"
+    )
+    result = run_lint([p], rules=select_rules(["registry-names"]),
+                      baseline=None)
+    assert [f.rule for f in result.findings] == ["registry-names"]
+    assert "emit.block.bogus" in result.findings[0].message
+
+
 def test_undeclared_sketch_family_member_fails_lint(tmp_path):
     # A sketch.* counter nobody declared must be a registry-names finding
     # — new instrument families ride through obs.names, not ad hoc.

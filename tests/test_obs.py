@@ -470,8 +470,12 @@ class TestWorkerMetricsMerge:
 
     def test_shard_spans_arrive_under_parent_tree(self, runs):
         for _, metrics in runs.values():
+            prefix = "generate/emit/shard/"
+            # Direct shard spans only: the block emitter's flush span
+            # nests one level below (generate/emit/shard/<kind>/...).
             shard_paths = [p for p in metrics.spans
-                           if p.startswith("generate/emit/shard/")]
+                           if p.startswith(prefix)
+                           and "/" not in p[len(prefix):]]
             assert shard_paths
             assert metrics.spans["generate"]["count"] == 1
             emitted = sum(metrics.spans[p]["count"] for p in shard_paths)

@@ -485,9 +485,75 @@ class TestTrajectory:
         assert main(["--metrics", str(metrics_path), "--out", str(out_path),
                      "--commit", "c1", "--context", "scale=40000",
                      "--fail-threshold", "0.2"]) == 0
-        # A second run 10x slower trips the gate.
+        # A second run 10x slower under the same context trips the gate.
         m.spans["generate"]["wall"] = 5.0
         dump_json(m, str(metrics_path))
         assert main(["--metrics", str(metrics_path), "--out", str(out_path),
-                     "--commit", "c2", "--fail-threshold", "0.2"]) == 1
+                     "--commit", "c2", "--context", "scale=40000",
+                     "--fail-threshold", "0.2"]) == 1
         assert "REGRESSION" in capsys.readouterr().out
+
+    def test_records_label_what_they_measure(self, tmp_path):
+        from repro.obs.trajectory import append_record
+
+        path = tmp_path / "traj.json"
+        record = append_record(path, self._metrics(), commit="a")
+        assert record["measures"] == ["sessions_per_second"]
+        streaming = self._metrics()
+        streaming["counters"]["sketch.events_consumed"] = 5000
+        streaming["spans"]["sketch/ingest"] = {"count": 1, "wall": 0.5,
+                                               "cpu": 0.5}
+        record = append_record(path, streaming, commit="b")
+        assert record["measures"] == ["sessions_per_second",
+                                      "streaming_events_per_second"]
+        sketch_only = {
+            "counters": {"sketch.events_consumed": 5000},
+            "spans": {"sketch/ingest": {"count": 1, "wall": 0.5, "cpu": 0.5}},
+        }
+        record = append_record(path, sketch_only, commit="c")
+        assert record["measures"] == ["streaming_events_per_second"]
+        assert record["sessions_per_second"] is None
+
+    def test_regression_gate_is_context_aware(self, tmp_path):
+        from repro.obs.trajectory import (
+            append_record,
+            check_regression,
+            load_trajectory,
+        )
+
+        path = tmp_path / "traj.json"
+        scalar = {"scale": "4000", "workers": "1", "backend": "inline",
+                  "emit_path": "scalar"}
+        block = dict(scalar, emit_path="block")
+        append_record(path, self._metrics(wall=1.0), commit="a",
+                      context=scalar)
+        # A 10x-slower run under a DIFFERENT context starts its own
+        # series: the scalar reference must never gate the block path.
+        append_record(path, self._metrics(wall=10.0), commit="b",
+                      context=block)
+        assert check_regression(load_trajectory(path), threshold=0.2) is None
+        # ... but the same context does compare.
+        append_record(path, self._metrics(wall=100.0), commit="c",
+                      context=block)
+        message = check_regression(load_trajectory(path), threshold=0.2)
+        assert message is not None and "regressed" in message
+        assert "block" in message
+
+    def test_missing_emit_path_reads_as_scalar(self, tmp_path):
+        from repro.obs.trajectory import (
+            append_record,
+            check_regression,
+            load_trajectory,
+        )
+
+        path = tmp_path / "traj.json"
+        ctx = {"scale": "40000", "workers": "2", "backend": "pool"}
+        # Records written before the block engine existed carry no
+        # emit_path; an explicit emit_path=scalar row continues their
+        # series.
+        append_record(path, self._metrics(wall=1.0), commit="old",
+                      context=ctx)
+        append_record(path, self._metrics(wall=10.0), commit="new",
+                      context=dict(ctx, emit_path="scalar"))
+        message = check_regression(load_trajectory(path), threshold=0.2)
+        assert message is not None and "regressed" in message
