@@ -124,6 +124,50 @@ if len(set(digests.values())) != 1:
 print(f"backend matrix ok (sha256 {next(iter(digests.values()))[:16]}... x3)")
 PY
 
+echo "== run-ledger determinism (inline w=1 vs pool w=2, strip-identical) =="
+python -m repro generate --scale 80000 --hash-scale 0.004 --seed 7 \
+    --workers 1 --backend inline --out "$SCRATCH/ledger_a.npz" \
+    --ledger "$SCRATCH/ledger_a.jsonl" > /dev/null 2> /dev/null
+python -m repro generate --scale 80000 --hash-scale 0.004 --seed 7 \
+    --workers 2 --backend pool --out "$SCRATCH/ledger_b.npz" \
+    --ledger "$SCRATCH/ledger_b.jsonl" --trace "$SCRATCH/top_trace.jsonl" \
+    > /dev/null 2> /dev/null
+python - "$SCRATCH" <<'PY'
+import json
+import sys
+
+from repro.obs import read_ledger_jsonl, strip_volatile_records, \
+    validate_ledger
+
+scratch = sys.argv[1]
+ledgers = {name: read_ledger_jsonl(f"{scratch}/ledger_{name[0]}.jsonl")
+           for name in ("a_inline_w1", "b_pool_w2")}
+for name, records in ledgers.items():
+    problems = validate_ledger(records)
+    if problems:
+        raise SystemExit(f"{name} ledger invalid: {problems[:5]}")
+stripped = [json.dumps(strip_volatile_records(r), sort_keys=True)
+            for r in ledgers.values()]
+if stripped[0] != stripped[1]:
+    raise SystemExit("ledgers diverge after stripping volatile fields")
+finals = [next(r for r in records if r["record"] == "final")
+          for records in ledgers.values()]
+if finals[0]["store_sha256"] != finals[1]["store_sha256"]:
+    raise SystemExit("final store sha256 differs between worker counts")
+a = ledgers["a_inline_w1"]
+beats = sum(1 for r in a if r["record"] == "heartbeat")
+tasks = sum(1 for r in a if r["record"] == "task")
+print(f"run-ledger ok ({len(a)} records, {tasks} task rows, "
+      f"{beats} heartbeats, store sha256 "
+      f"{finals[0]['store_sha256'][:16]}..., stripped identical)")
+PY
+
+echo "== repro top smoke (--once over the recorded pool trace) =="
+TOP_FRAME="$(python -m repro top --once --input "$SCRATCH/top_trace.jsonl")"
+echo "$TOP_FRAME" | grep -q "pool-" \
+    || { echo "repro top rendered no pool worker row"; exit 1; }
+echo "repro top smoke ok (pool worker rows rendered)"
+
 echo "== sharded generation smoke (validate, 2 workers, with metrics + trace) =="
 python -m repro validate --scale 40000 --workers 2 \
     --metrics "$SCRATCH/ci_metrics.json" --trace "$SCRATCH/ci_trace.jsonl" \

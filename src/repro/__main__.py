@@ -82,6 +82,14 @@ def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
                              "a fingerprint of the scenario config; a rerun "
                              "with the same config loads instead of "
                              "regenerating (default: $REPRO_CACHE if set)")
+    parser.add_argument("--ledger", nargs="?", const="run_ledger.jsonl",
+                        default=None, metavar="PATH",
+                        help="write the run manifest (config fingerprint, "
+                             "environment snapshot, per-task telemetry, "
+                             "alerts, artifact digests, final store sha256) "
+                             "as JSON lines to PATH after the command; bare "
+                             "--ledger uses run_ledger.jsonl (REPRO_LEDGER "
+                             "env does the same)")
     _add_trace_args(parser)
 
 
@@ -172,6 +180,7 @@ def _dataset(args):
 
 def cmd_generate(args) -> int:
     from repro.api import generate
+    from repro.obs import get_ledger, sha256_file
     from repro.store.io import write_jsonl
     from repro.store.npz import save_npz
 
@@ -185,6 +194,9 @@ def cmd_generate(args) -> int:
     else:
         save_npz(dataset.store, args.out)
         print(f"wrote {len(dataset.store):,} sessions to {args.out}")
+    ledger = get_ledger()
+    if ledger is not None:
+        ledger.record_artifact("store", args.out, sha256_file(args.out))
     return 0
 
 
@@ -431,6 +443,90 @@ def _monitor_demo(args, monitor, analytics=None) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    """Scheduler dashboard: replay/tail a trace, or run a demo generate."""
+    import os
+
+    from repro.sched.dashboard import TopDashboard
+
+    dash = TopDashboard()
+    try:
+        if args.input:
+            return _top_tail(args, dash)
+        return _top_demo(args, dash)
+    except BrokenPipeError:
+        # Downstream reader (head, grep -q) closed the pipe mid-frame;
+        # park stdout on devnull so the interpreter's exit flush is quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+def _top_tail(args, dash) -> int:
+    """Feed a flight-recorder JSONL stream into the dashboard.
+
+    ``--once`` reads what is there and renders one frame (the CI mode);
+    ``--follow`` keeps tailing, repainting every ``--interval`` seconds
+    until the stream goes idle for ``--idle-exit`` seconds.
+    """
+    import json
+    import time
+
+    bad_lines = 0
+    last_render = time.monotonic()
+    with open(args.input, "r", encoding="utf-8") as fh:
+        idle = 0.0
+        while True:
+            line = fh.readline()
+            if not line:
+                if args.once or not args.follow or idle >= args.idle_exit:
+                    break
+                time.sleep(0.2)
+                idle += 0.2
+            else:
+                idle = 0.0
+                line = line.strip()
+                if line:
+                    try:
+                        dash.feed(json.loads(line))
+                    except ValueError:
+                        bad_lines += 1
+            if args.follow and not args.once and \
+                    time.monotonic() - last_render >= args.interval:
+                _top_frame(dash)
+                last_render = time.monotonic()
+    _top_frame(dash, final=True)
+    if bad_lines:
+        print(f"warning: {bad_lines} unparseable lines skipped",
+              file=sys.stderr)
+    return 0
+
+
+def _top_frame(dash, final: bool = False) -> None:
+    if not final and sys.stdout.isatty():
+        print("\x1b[2J\x1b[H", end="")
+    print(dash.render())
+    if not final:
+        print(flush=True)
+
+
+def _top_demo(args, dash) -> int:
+    """A small pool-backed scheduled generate, rendered as a final frame."""
+    from repro.obs.trace import Tracer, use_tracer
+    from repro.sched.scheduler import generate_scheduled
+    from repro.workload.config import ScenarioConfig
+
+    config = ScenarioConfig(scale=1 / 80000, seed=args.seed,
+                            hash_scale=0.004)
+    print(f"demo: scheduled generate, pool x{args.workers} "
+          f"({config.total_sessions:,} sessions) ...", file=sys.stderr)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        generate_scheduled(config, backend="pool", workers=args.workers)
+    dash.feed_all(tracer.to_list())
+    print(dash.render())
+    return 0
+
+
 def _run_traced(args, target: str) -> int:
     """Run the command under a flight recorder, then report the trace."""
     from repro.obs import dump_chrome_trace, render_timeline
@@ -457,6 +553,32 @@ def _run_traced(args, target: str) -> int:
     if chrome:
         dump_chrome_trace(events, chrome)
         print(f"chrome trace written to {chrome}", file=sys.stderr)
+    return status
+
+
+def _run_ledgered(args, target: str, runner) -> int:
+    """Run the command with the run ledger armed, then write the manifest.
+
+    The CLI pins the run ``kind`` (the subcommand name) up front;
+    :func:`repro.api.generate` enriches the same record with the config
+    fingerprint and backend once it resolves them.  The manifest is
+    written even when the command fails — a failed run's ledger is the
+    artefact you want most.
+    """
+    from repro.obs import RunLedger, get_metrics, use_ledger
+
+    ledger = RunLedger()
+    ledger.begin_run(args.command)
+    status = 1
+    try:
+        with use_ledger(ledger):
+            status = runner()
+    finally:
+        ledger.record_stages(get_metrics())
+        ledger.finish("ok" if status == 0 else f"exit-{status}")
+        count = ledger.write_jsonl(target)
+        print(f"run ledger: {count} records written to {target}",
+              file=sys.stderr)
     return status
 
 
@@ -530,6 +652,29 @@ def main(argv=None) -> int:
     _add_trace_args(p_monitor)
     p_monitor.set_defaults(func=cmd_monitor)
 
+    p_top = sub.add_parser(
+        "top", help="live scheduler dashboard: per-worker heartbeat rows, "
+                    "task progress and recent alerts from a --trace JSONL "
+                    "stream (or a built-in demo generate)")
+    p_top.add_argument("--input", default=None, metavar="PATH",
+                       help="flight-recorder JSONL stream to render "
+                            "(e.g. the --trace file of a running generate)")
+    p_top.add_argument("--once", action="store_true",
+                       help="with --input, read what is there, render one "
+                            "frame and exit (the CI mode)")
+    p_top.add_argument("--follow", action="store_true",
+                       help="with --input, keep tailing for new lines")
+    p_top.add_argument("--idle-exit", type=float, default=10.0,
+                       help="with --follow, stop after this many seconds "
+                            "without new lines")
+    p_top.add_argument("--interval", type=float, default=2.0,
+                       help="with --follow, seconds between repaints")
+    p_top.add_argument("--seed", type=int, default=7,
+                       help="demo-mode scenario seed")
+    p_top.add_argument("--workers", type=int, default=2,
+                       help="demo-mode pool worker count")
+    p_top.set_defaults(func=cmd_top)
+
     args = parser.parse_args(argv)
     import os
 
@@ -537,9 +682,16 @@ def main(argv=None) -> int:
     trace_target = (trace_flag if trace_flag is not None
                     else os.environ.get("REPRO_TRACE"))
     if trace_target:
-        status = _run_traced(args, trace_target)
+        runner = lambda: _run_traced(args, trace_target)  # noqa: E731
     else:
-        status = args.func(args)
+        runner = lambda: args.func(args)  # noqa: E731
+    ledger_flag = getattr(args, "ledger", None)
+    ledger_target = (ledger_flag if ledger_flag is not None
+                     else os.environ.get("REPRO_LEDGER"))
+    if ledger_target:
+        status = _run_ledgered(args, ledger_target, runner)
+    else:
+        status = runner()
     _emit_metrics(getattr(args, "metrics", None))
     return status
 

@@ -102,17 +102,33 @@ def generate(config=None, *, backend: str = "pool",
         raise TypeError("pass either options= or individual keywords, "
                         "not both")
 
-    cache_obj = fingerprint = None
+    from repro.obs.ledger import get_ledger
+    from repro.workload.cache import dataset_fingerprint
+
+    # The run ledger (when armed via ``use_ledger`` / ``--ledger``) pins
+    # the run's logical identity here: the config fingerprint keys the
+    # pipeline *family*, so workers=1 and workers=8 ledgers strip equal.
+    family_workers = None if options.backend == "serial" else 1
+    fingerprint = dataset_fingerprint(config, workers=family_workers)
+    ledger = get_ledger()
+    if ledger is not None:
+        ledger.begin_run(
+            "generate", config=config, fingerprint=fingerprint,
+            backend=options.backend, workers=options.resolved_workers(),
+        )
+
+    cache_obj = None
     if options.cache is not None:
-        from repro.workload.cache import as_cache, dataset_fingerprint
+        from repro.workload.cache import as_cache
 
         cache_obj = as_cache(options.cache)
         # Only the pipeline family keys the cache: all sharded backends
         # and worker counts produce the same bytes, so they share entries.
-        family_workers = None if options.backend == "serial" else 1
-        fingerprint = dataset_fingerprint(config, workers=family_workers)
         cached = cache_obj.load(fingerprint)
         if cached is not None:
+            if ledger is not None:
+                ledger.record_store(cached.content_digest(),
+                                    len(cached.store), cache_hit=True)
             return cached
 
     if options.backend == "serial":
@@ -135,6 +151,8 @@ def generate(config=None, *, backend: str = "pool",
 
     if cache_obj is not None:
         cache_obj.store(fingerprint, dataset)
+    if ledger is not None:
+        ledger.record_store(dataset.content_digest(), len(dataset.store))
     return dataset
 
 

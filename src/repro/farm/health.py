@@ -31,7 +31,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 from repro.core.notify import FreshHashNotice
 from repro.honeypot.events import HoneypotEvent
-from repro.obs import get_metrics
+from repro.obs import get_ledger, get_metrics
 
 #: Session categories the mix-drift baseline tracks (the paper's taxonomy).
 CATEGORIES = ("NO_CRED", "FAIL_LOG", "NO_CMD", "CMD", "CMD_URI")
@@ -430,6 +430,10 @@ class FarmHealthMonitor:
         if len(self.alerts) > self.config.max_alerts:
             del self.alerts[: len(self.alerts) - self.config.max_alerts]
         get_metrics().inc(f"farm.alerts.{kind}")
+        ledger = get_ledger()
+        if ledger is not None:
+            ledger.record_alert(kind, message, time=ts,
+                                honeypot_id=honeypot_id, **data)
 
     # -- reporting ------------------------------------------------------------
 

@@ -32,6 +32,16 @@ from repro.obs.export import (
     render_timeline,
     write_trace_jsonl,
 )
+from repro.obs.ledger import (
+    RunLedger,
+    get_ledger,
+    read_ledger_jsonl,
+    set_ledger,
+    sha256_file,
+    strip_volatile_records,
+    use_ledger,
+    validate_ledger,
+)
 from repro.obs.metrics import (
     Histogram,
     Metrics,
@@ -43,10 +53,18 @@ from repro.obs.metrics import (
     stopwatch,
     use_metrics,
 )
+from repro.obs.resources import (
+    ResourceSampler,
+    current_rss_kb,
+    peak_rss_kb,
+    worker_heartbeat,
+)
 from repro.obs.trace import (
     Tracer,
     get_tracer,
+    is_volatile_kind,
     set_tracer,
+    strip_volatile_events,
     use_tracer,
     validate_trace,
 )
@@ -54,25 +72,38 @@ from repro.obs.trace import (
 __all__ = [
     "Histogram",
     "Metrics",
+    "ResourceSampler",
+    "RunLedger",
     "Stopwatch",
     "Tracer",
     "chrome_trace_events",
+    "current_rss_kb",
     "dump_chrome_trace",
     "dump_json",
+    "get_ledger",
     "get_metrics",
     "get_tracer",
     "inc",
+    "is_volatile_kind",
     "load_json",
+    "peak_rss_kb",
+    "read_ledger_jsonl",
     "read_trace_jsonl",
     "render",
     "render_prometheus",
     "render_timeline",
     "reset_metrics",
+    "set_ledger",
     "set_metrics",
     "set_tracer",
+    "sha256_file",
     "stopwatch",
+    "strip_volatile_events",
+    "strip_volatile_records",
+    "use_ledger",
     "use_metrics",
     "use_tracer",
+    "validate_ledger",
     "validate_trace",
-    "write_trace_jsonl",
+    "worker_heartbeat",
 ]

@@ -135,36 +135,107 @@ def _prom_name(name: str) -> str:
     return f"repro_{sanitised}"
 
 
+def _prom_names(keys: List[Tuple[str, str]]) -> Dict[Tuple[str, str], str]:
+    """(family, name) -> exposition name, with collisions disambiguated.
+
+    Sanitising is lossy — ``sched.task-run`` and ``sched.task_run`` both
+    become ``repro_sched_task_run`` — and Prometheus rejects (or worse,
+    silently merges) duplicate series.  Every member of a colliding group
+    gets a deterministic 6-hex suffix derived from its own raw identity,
+    so the mapping is stable across runs and independent of which other
+    names happen to be present in the group.
+    """
+    import hashlib
+
+    mapped = {
+        (family, name): _prom_name(name if family != "span"
+                                   else f"span_{name}")
+        for family, name in keys
+    }
+    groups: Dict[str, List[Tuple[str, str]]] = {}
+    for key, prom in mapped.items():
+        groups.setdefault(prom, []).append(key)
+    for prom, members in groups.items():
+        if len(members) == 1:
+            continue
+        for family, name in members:
+            digest = hashlib.sha256(
+                f"{family}:{name}".encode("utf-8")
+            ).hexdigest()[:6]
+            mapped[(family, name)] = f"{prom}_{digest}"
+    return mapped
+
+
+def _span_help(path: str) -> str:
+    """Registry help for a slash-joined span path.
+
+    Span declarations name the literal a call site passes (a leaf like
+    ``merge`` or a family like ``shard/*``), while merged paths are
+    nested (``generate/emit/shard/bg_cmd``); match progressively longer
+    trailing segments so both forms resolve.
+    """
+    from repro.obs.names import describe
+
+    parts = path.split("/")
+    for start in range(len(parts) - 1, -1, -1):
+        text = describe("span", "/".join(parts[start:]))
+        if text:
+            return text
+    return ""
+
+
 def render_prometheus(metrics: Metrics) -> str:
     """The registry in Prometheus text exposition format.
 
     Counters and gauges map directly; histograms surface as summaries
     (``_count`` / ``_sum`` plus p50/p90/p99 ``quantile`` labels), which is
     what lets ``repro monitor`` output be scraped without a client library.
+    Distinct registry names that sanitise to the same exposition name are
+    disambiguated (see :func:`_prom_names`); an empty histogram emits
+    ``NaN`` quantiles — the Prometheus convention for a summary with no
+    observations — rather than a misleading 0.  ``# HELP`` text comes
+    from the declared-name registry (:mod:`repro.obs.names`).
     """
+    from repro.obs.names import describe
+
+    keys: List[Tuple[str, str]] = (
+        [("counter", n) for n in sorted(metrics.counters)]
+        + [("gauge", n) for n in sorted(metrics.gauges)]
+        + [("histogram", n) for n in sorted(metrics.histograms)]
+        + [("span", p) for p in sorted(metrics.spans)]
+    )
+    names = _prom_names(keys)
     lines: List[str] = []
+
+    def header(family: str, name: str, prom: str, prom_type: str) -> None:
+        help_text = (_span_help(name) if family == "span"
+                     else describe(family, name))
+        if help_text:
+            lines.append(f"# HELP {prom} {help_text}")
+        lines.append(f"# TYPE {prom} {prom_type}")
+
     for name in sorted(metrics.counters):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} counter")
+        prom = names[("counter", name)]
+        header("counter", name, prom, "counter")
         lines.append(f"{prom} {float(metrics.counters[name]):g}")
     for name in sorted(metrics.gauges):
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} gauge")
+        prom = names[("gauge", name)]
+        header("gauge", name, prom, "gauge")
         lines.append(f"{prom} {float(metrics.gauges[name]):g}")
     for name in sorted(metrics.histograms):
         hist = metrics.histograms[name]
-        prom = _prom_name(name)
-        lines.append(f"# TYPE {prom} summary")
+        prom = names[("histogram", name)]
+        header("histogram", name, prom, "summary")
         for q in (0.5, 0.9, 0.99):
-            lines.append(
-                f'{prom}{{quantile="{q:g}"}} {hist.percentile(q * 100):g}'
-            )
+            value = (f"{hist.percentile(q * 100):g}" if hist.count
+                     else "NaN")
+            lines.append(f'{prom}{{quantile="{q:g}"}} {value}')
         lines.append(f"{prom}_sum {hist.total:g}")
         lines.append(f"{prom}_count {hist.count}")
     for path in sorted(metrics.spans):
         cell = metrics.spans[path]
-        prom = _prom_name(f"span_{path}")
-        lines.append(f"# TYPE {prom}_seconds counter")
+        prom = names[("span", path)]
+        header("span", path, f"{prom}_seconds", "counter")
         lines.append(f"{prom}_seconds {cell['wall']:g}")
         lines.append(f"{prom}_count {int(cell['count'])}")
     return "\n".join(lines) + "\n"

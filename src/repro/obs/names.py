@@ -79,6 +79,12 @@ COUNTERS: Tuple[str, ...] = (
     "emit.block.buffered_rows",
     "emit.block.flushes",
     "emit.block.rows",
+    # Worker heartbeats (repro.sched + repro.obs.resources).  Heartbeat
+    # counts are physical liveness — they vary with backend and worker
+    # count by construction, like the other sched.* physical counters.
+    "sched.heartbeat.*",
+    # Run-ledger accounting (repro.obs.ledger).
+    "ledger.*",
 )
 
 #: Gauges (``gauge_set`` — last value; ``gauge_max`` — high-water mark).
@@ -93,6 +99,7 @@ GAUGES: Tuple[str, ...] = (
     "sched.trace_makespan_virtual",
     "sched.workers_peak",
     "sched.backlog_peak",
+    "sched.heartbeat.rss_kb_peak",
     "sketch.unique.*",  # streaming cardinality estimates (clients, hashes)
 )
 
@@ -108,6 +115,8 @@ HISTOGRAMS: Tuple[str, ...] = (
     "sched.task_queue_seconds",
     "sched.task_run_seconds",
     "sched.task_merge_seconds",
+    # Per-task resource telemetry (repro.obs.resources samplers).
+    "resource.*",
 )
 
 #: Span path components as written at ``Metrics.span`` call sites.  Nested
@@ -150,6 +159,7 @@ TRACE_KINDS: Tuple[str, ...] = (
     "sched.task.submit",
     "sched.task.done",
     "sched.task.retry",
+    "sched.heartbeat.*",  # worker liveness (declared volatile, see obs.trace)
     "engine.dispatch",
     "engine.cancel",
     "collector.summary",
@@ -176,6 +186,161 @@ FAMILIES = {
     "span": SPANS,
     "trace": TRACE_KINDS,
 }
+
+#: One-line help text per declared pattern, keyed by family then pattern.
+#: This is what ``render_prometheus`` emits as ``# HELP`` lines, and a
+#: registry-sync test keeps it total: every declaration above must carry
+#: a description here (and vice versa), so documentation cannot drift.
+DESCRIPTIONS = {
+    "counter": {
+        "rng.streams_created": "named deterministic rng streams minted",
+        "rng.draws": "random draws taken across all named streams",
+        "engine.events_scheduled": "events pushed onto the simulation heap",
+        "engine.events_dispatched": "events popped and dispatched in time order",
+        "engine.events_cancelled": "scheduled events cancelled before dispatch",
+        "honeypot.sessions_accepted": "connections the honeypots accepted",
+        "honeypot.sessions_refused": "connections refused at the listener",
+        "honeypot.auth_attempts": "login attempts observed across sessions",
+        "honeypot.hashes_recorded": "payload hashes recorded by the pots",
+        "honeypot.sessions.*": "sessions finished, per session category",
+        "honeypot.timeouts.*": "sessions timed out, per timeout reason",
+        "store.sessions_appended": "session rows appended to a store",
+        "store.blocks_appended": "column blocks appended to a store",
+        "store.adopts": "whole-store adoptions during merges",
+        "store.adopts_fastpath": "adoptions served by the frozen fast path",
+        "store.sessions_adopted": "session rows adopted during merges",
+        "store.freezes": "stores frozen to columnar form",
+        "store.npz_saves": "stores persisted as npz archives",
+        "store.npz_saved_sessions": "session rows persisted to npz",
+        "store.npz_loads": "npz archives loaded back into stores",
+        "store.npz_loaded_sessions": "session rows loaded from npz",
+        "cache.hits": "dataset cache lookups served from disk",
+        "cache.misses": "dataset cache lookups that generated instead",
+        "cache.stores": "datasets written into the cache",
+        "cache.corrupt_entries": "cache entries dropped as unreadable",
+        "cache.loaded_sessions": "session rows loaded from cache hits",
+        "generator.sessions.*": "sessions generated, per category",
+        "generator.days.*": "active generation days, per category",
+        "generator.spike_sessions.*": "spike-day sessions, per category",
+        "generator.campaigns_realized": "campaigns realised after scaling",
+        "generator.campaign_days": "campaign active days generated",
+        "generator.campaign_sessions": "sessions attributed to campaigns",
+        "shards.emitted": "shard tasks emitted by workers",
+        "shards.sessions.*": "sessions emitted, per shard kind",
+        "context.*": "analysis context cache property hits and misses",
+        "farm.alerts.*": "farm-health alerts raised, per alert kind",
+        "sched.tasks_submitted": "task attempts submitted to a backend",
+        "sched.tasks_completed": "task attempts completed successfully",
+        "sched.tasks_retried": "task attempts re-queued after an error",
+        "sched.duplicates_dropped": "late duplicate task results dropped",
+        "sched.stragglers_requeued": "straggling tasks duplicated",
+        "sched.workers_grown": "elastic pool grow operations",
+        "sched.workers_shrunk": "elastic pool shrink operations",
+        "sketch.sessions_observed": "sessions folded into the sketches",
+        "sketch.events_consumed": "trace events consumed by the sketches",
+        "sketch.store_sessions_ingested": "store rows ingested by the sketches",
+        "sketch.merges": "sketch registries merged",
+        "emit.block.buffered_blocks": "session blocks buffered before flush",
+        "emit.block.buffered_rows": "session rows buffered before flush",
+        "emit.block.flushes": "block-engine flushes to the store",
+        "emit.block.rows": "session rows written by the block engine",
+        "sched.heartbeat.*": "worker heartbeats received / stale episodes",
+        "ledger.*": "run-ledger rows, alerts and files recorded",
+    },
+    "gauge": {
+        "engine.heap_depth_max": "peak simulation event-heap depth",
+        "shards.count": "shards in the generation plan",
+        "shards.workers": "worker processes requested for the run",
+        "shards.queue_wait_seconds": "estimated shard queue-wait wall seconds",
+        "store.npz_save_bytes_per_second": "npz save throughput",
+        "store.npz_load_bytes_per_second": "npz load throughput",
+        "sched.arrival_rate": "work-trace Poisson arrival rate (tasks/s)",
+        "sched.trace_makespan_virtual": "virtual makespan of the work trace",
+        "sched.workers_peak": "peak live worker count",
+        "sched.backlog_peak": "peak outstanding task count",
+        "sched.heartbeat.rss_kb_peak": "peak worker RSS reported by heartbeats",
+        "sketch.unique.*": "streaming cardinality estimates",
+    },
+    "histogram": {
+        "store.adopt_seconds": "per-store adoption wall seconds",
+        "store.freeze_seconds": "per-store freeze wall seconds",
+        "store.npz_save_seconds": "per-archive npz save wall seconds",
+        "store.npz_load_seconds": "per-archive npz load wall seconds",
+        "shards.sessions_per_shard": "sessions emitted per shard",
+        "farm.sessions_per_interval": "live-farm sessions per drift interval",
+        "farm.mix.*": "per-interval session-category share",
+        "sched.task_queue_seconds": "per-task wait between submit and run",
+        "sched.task_run_seconds": "per-task worker-side execution wall",
+        "sched.task_merge_seconds": "per-task store merge wall seconds",
+        "resource.*": "per-task worker resource telemetry",
+    },
+    "span": {
+        "generate": "whole-generation stage",
+        "plan": "shard planning stage",
+        "emit": "shard emission stage",
+        "merge": "shard store merge stage",
+        "day_buckets": "per-day session bucketing stage",
+        "campaigns": "campaign realisation stage",
+        "singletons": "singleton session stage",
+        "background": "background traffic stage",
+        "freeze": "store freeze stage",
+        "shard/*": "worker-side per-shard emission",
+        "sched/trace": "work-trace build/replay stage",
+        "cache/load": "dataset cache load stage",
+        "cache/save": "dataset cache store stage",
+        "store/save_npz": "npz persistence stage",
+        "store/load_npz": "npz load stage",
+        "store/merge": "store merge stage",
+        "validate": "calibration validation stage",
+        "report": "summary report stage",
+        "intermediates": "intermediate table stage",
+        "tables_4_5_6": "hash table computation stage",
+        "sketch/ingest": "streaming sketch ingest stage",
+        "emit.block.flush": "block-engine flush stage",
+    },
+    "trace": {
+        "generator.block": "bulk emission block boundary",
+        "generate.merged": "final store merge completed",
+        "shard.emit": "one shard emitted by a worker",
+        "sched.trace.built": "work trace built or replayed",
+        "sched.task.submit": "task attempt submitted to the backend",
+        "sched.task.done": "task attempt completed",
+        "sched.task.retry": "task attempt re-queued after an error",
+        "sched.heartbeat.*": "worker heartbeat / stale-worker episode",
+        "engine.dispatch": "simulation event dispatched",
+        "engine.cancel": "simulation event cancelled",
+        "collector.summary": "collector interval summary",
+        "collector.merge": "collector results merged",
+        "honeypot.refused": "connection refused at the listener",
+        "honeypot.session.connect": "session connected",
+        "honeypot.client.version": "client version exchanged",
+        "honeypot.login.success": "login succeeded",
+        "honeypot.login.failed": "login failed",
+        "honeypot.command.input": "command entered",
+        "honeypot.command.failed": "command rejected",
+        "honeypot.session.file_download": "file downloaded in session",
+        "honeypot.session.file_upload": "file uploaded in session",
+        "honeypot.session.file_created": "file created in session",
+        "honeypot.session.file_modified": "file modified in session",
+        "honeypot.session.closed": "session closed",
+    },
+}
+
+
+def describe(family: str, name: str) -> str:
+    """The declared help text for ``name`` in ``family`` ("" = undeclared).
+
+    Exact declarations win; otherwise the first ``*`` pattern matching
+    ``name`` supplies the family-level description.
+    """
+    table = DESCRIPTIONS.get(family, {})
+    exact = table.get(name)
+    if exact is not None:
+        return exact
+    for pattern, text in table.items():
+        if "*" in pattern and fnmatchcase(name, pattern):
+            return text
+    return ""
 
 
 def is_declared(name: str, patterns: Tuple[str, ...]) -> bool:

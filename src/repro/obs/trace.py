@@ -356,3 +356,27 @@ def strip_volatile(event: Dict[str, Any]) -> Dict[str, Any]:
     """
     return {k: v for k, v in event.items()
             if k not in ("seq", "wall", "shard")}
+
+
+#: Event-kind prefixes that are volatile *as whole events*: physical
+#: telemetry (worker heartbeats, stale-worker episodes) whose presence
+#: and count legitimately depend on the backend, worker count and wall
+#: clock.  The field-level contract (:func:`strip_volatile`) does not
+#: cover them — no subset of a heartbeat's fields is run-invariant — so
+#: invariance comparisons drop these events entirely, the event-stream
+#: analogue of the worker-count-variant ``sched.*`` counters excluded
+#: from the metrics invariance contract.
+VOLATILE_KIND_PREFIXES: tuple = ("sched.heartbeat.",)
+
+
+def is_volatile_kind(kind: str) -> bool:
+    """True when events of ``kind`` are declared run-variant wholesale."""
+    return kind.startswith(VOLATILE_KIND_PREFIXES)
+
+
+def strip_volatile_events(
+    events: Iterable[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Events minus those of a volatile kind (heartbeats and kin)."""
+    return [e for e in events
+            if not is_volatile_kind(str(e.get("kind", "")))]

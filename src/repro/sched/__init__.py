@@ -30,6 +30,7 @@ from repro.sched.backends import (
     TaskOutcome,
     make_backend,
 )
+from repro.sched.dashboard import TopDashboard, WorkerRow
 from repro.sched.scheduler import (
     Scheduler,
     SchedulerConfig,
@@ -57,7 +58,9 @@ __all__ = [
     "SchedulerError",
     "ShardTask",
     "TaskOutcome",
+    "TopDashboard",
     "WorkTrace",
+    "WorkerRow",
     "build_trace",
     "generate_scheduled",
     "make_backend",

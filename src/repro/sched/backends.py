@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs import stopwatch
+from repro.obs.resources import ResourceSampler, worker_heartbeat
 from repro.sched.trace import ShardTask
 
 #: Env var naming a task index whose first execution attempt must crash
@@ -54,6 +55,9 @@ class TaskOutcome:
     Either a payload (``store`` + worker-side ``metrics``/``events``) or
     an ``error`` string — never both.  ``run_seconds`` is the worker-side
     execution wall; the scheduler derives queueing from it.
+    ``telemetry`` is the worker's per-task resource sample
+    (:class:`repro.obs.resources.ResourceSampler` dict form) — physical
+    accounting only, never part of the output contract.
     """
 
     task: ShardTask
@@ -64,6 +68,7 @@ class TaskOutcome:
     events: Optional[List[Dict]] = None
     run_seconds: float = 0.0
     error: Optional[str] = None
+    telemetry: Optional[Dict] = None
 
     @property
     def ok(self) -> bool:
@@ -106,6 +111,16 @@ class Backend(ABC):
         """Request a capacity change; returns the size actually in effect."""
         return self.workers
 
+    def heartbeats(self) -> List[Dict]:
+        """Worker heartbeat payloads observed since the last call.
+
+        Payloads follow :func:`repro.obs.resources.worker_heartbeat`;
+        ``beat`` is per-worker monotonic, so consumers dedupe on it and
+        a backend may return the same beat twice without harm.  The
+        default (no liveness channel) reports nothing.
+        """
+        return []
+
     @property
     def workers(self) -> int:
         """Current execution slots (1 for inline)."""
@@ -127,6 +142,14 @@ def _emit_task(config, index: int, want_trace: bool):
     from repro.workload.shards import _emit_indexed
 
     return _emit_indexed((config, index, want_trace))
+
+
+def _run_task(config, index: int, want_trace: bool):
+    """One shard task under a resource sampler: (store, metrics, events,
+    telemetry).  The shared executor body of all three backends."""
+    with ResourceSampler() as sampler:
+        store, metrics, events = _emit_task(config, index, want_trace)
+    return store, metrics, events, sampler.to_dict()
 
 
 def _maybe_fail_once(index: int) -> None:
@@ -161,6 +184,10 @@ class InlineBackend(Backend):
         self._pending: List[Tuple[ShardTask, int]] = []
         self._config = None
         self._want_trace = False
+        self._done = 0
+        self._sessions_done = 0
+        self._last_index: Optional[int] = None
+        self._reported_beat = 0
 
     def open(self, config, want_trace: bool) -> None:
         self._config = config
@@ -174,12 +201,29 @@ class InlineBackend(Backend):
             return []
         task, attempt = self._pending.pop(0)
         watch = stopwatch()
-        store, metrics, events = _emit_task(
+        store, metrics, events, telemetry = _run_task(
             self._config, task.index, self._want_trace
         )
+        self._done += 1
+        self._sessions_done += len(store)
+        self._last_index = task.index
         return [TaskOutcome(
             task=task, attempt=attempt, worker="inline", store=store,
             metrics=metrics, events=events, run_seconds=watch.elapsed(),
+            telemetry=telemetry,
+        )]
+
+    def heartbeats(self) -> List[Dict]:
+        # Synchronous, so "liveness" degenerates to one beat per batch of
+        # completed tasks — but the scheduler and dashboard see the same
+        # protocol every backend speaks.
+        if self._done == self._reported_beat:
+            return []
+        self._reported_beat = self._done
+        return [worker_heartbeat(
+            "inline", beat=self._done, state="idle",
+            last_index=self._last_index, tasks_done=self._done,
+            sessions_done=self._sessions_done,
         )]
 
     def close(self) -> None:
@@ -201,10 +245,16 @@ def _pool_worker_main(worker_id, config, want_trace, task_queue,
     """Worker loop: pull task indexes off a private queue, emit shards,
     ship result batches back on the shared (buffered) result queue.
 
-    Messages are ``("batch", worker_id, [outcome, ...])`` and a final
+    Messages are ``("batch", worker_id, [outcome, ...])``, a final
     ``("exit", worker_id, [outcome, ...])`` acknowledging the
-    shrink/close sentinel.  Each outcome in a batch is ``("done", index,
-    attempt, payload)`` or ``("error", index, attempt, message)``.
+    shrink/close sentinel, and ``("heartbeat", worker_id, payload)``
+    liveness beats sent on each task pickup — the existing result pipe
+    doubles as the liveness channel, so a stuck worker is one the parent
+    stops hearing from, with its last-known task on record.  Each
+    outcome in a batch is ``("done", index, attempt, payload)`` or
+    ``("error", index, attempt, message)``; a done payload is ``(store,
+    metrics, events, run_seconds, telemetry)`` with the telemetry dict
+    sampled by :class:`repro.obs.resources.ResourceSampler`.
     Results buffer locally while more tasks wait in the private queue and
     flush the moment the worker would otherwise idle — so message count
     scales with scheduling round-trips, not task count, and ``put`` hands
@@ -215,6 +265,9 @@ def _pool_worker_main(worker_id, config, want_trace, task_queue,
     """
     out: list = []
     local: deque = deque()
+    beat = 0
+    done = 0
+    sessions_done = 0
     while True:
         if not local:
             item = task_queue.get()
@@ -224,16 +277,26 @@ def _pool_worker_main(worker_id, config, want_trace, task_queue,
             local.extend(item)
             continue
         index, attempt = local.popleft()
+        beat += 1
+        result_queue.put(("heartbeat", worker_id, worker_heartbeat(
+            f"pool-{worker_id}", beat=beat, state="run", last_index=index,
+            tasks_done=done, sessions_done=sessions_done,
+        )))
         _maybe_fail_once(index)
         watch = stopwatch()
         try:
-            store, metrics, events = _emit_task(config, index, want_trace)
+            store, metrics, events, telemetry = _run_task(
+                config, index, want_trace
+            )
         except Exception as exc:  # ships back as a retryable task error
             out.append(("error", index, attempt,
                         f"{type(exc).__name__}: {exc}"))
         else:
+            done += 1
+            sessions_done += len(store)
             out.append(("done", index, attempt,
-                        (store, metrics, events, watch.elapsed())))
+                        (store, metrics, events, watch.elapsed(),
+                         telemetry)))
         if (not local and task_queue.empty()) or len(out) >= _BATCH:
             result_queue.put(("batch", worker_id, out))
             out = []
@@ -286,6 +349,7 @@ class PoolBackend(Backend):
         self._results = None
         self._config = None
         self._want_trace = False
+        self._heartbeats: List[Dict] = []
         self.deaths = 0
 
     def _context(self):
@@ -392,8 +456,15 @@ class PoolBackend(Backend):
         self._dispatch()
         return outcomes
 
+    def heartbeats(self) -> List[Dict]:
+        beats, self._heartbeats = self._heartbeats, []
+        return beats
+
     def _handle(self, message) -> List[TaskOutcome]:
         tag, worker_id, batch = message
+        if tag == "heartbeat":
+            self._heartbeats.append(batch)
+            return []
         outcomes: List[TaskOutcome] = []
         worker = self._workers.get(worker_id)
         for kind, index, attempt, payload in batch:
@@ -406,11 +477,11 @@ class PoolBackend(Backend):
                     worker=f"pool-{worker_id}", error=payload,
                 ))
                 continue
-            store, metrics, events, run_seconds = payload
+            store, metrics, events, run_seconds, telemetry = payload
             outcomes.append(TaskOutcome(
                 task=task, attempt=attempt, worker=f"pool-{worker_id}",
                 store=store, metrics=metrics, events=events,
-                run_seconds=run_seconds,
+                run_seconds=run_seconds, telemetry=telemetry,
             ))
         if tag == "exit":
             if worker is not None:
@@ -543,8 +614,18 @@ class QueueBackend(Backend):
                 store=payload["store"], metrics=payload.get("metrics"),
                 events=payload.get("events"),
                 run_seconds=float(payload.get("run_seconds", 0.0)),
+                telemetry=payload.get("telemetry"),
             ))
         return outcomes
+
+    def heartbeats(self) -> List[Dict]:
+        from repro.sched import node as _node
+
+        if self.root is None:
+            return []
+        # Nodes overwrite one heartbeat file per worker; re-reads repeat
+        # the latest beat and the scheduler's per-worker dedupe drops it.
+        return _node.read_heartbeats(self.root)
 
     def resize(self, workers: int) -> int:
         from repro.sched import node as _node

@@ -6,6 +6,7 @@ One spool directory is one farm-generation job::
     <root>/tasks/               serialized ShardTasks awaiting a node
     <root>/claimed/             tasks a node owns (claim = atomic rename)
     <root>/results/             returned bundles: <task>.npz + <task>.json
+    <root>/heartbeats/          one liveness file per worker (overwritten)
     <root>/nodes.json           the scheduler's desired node count (advisory)
 
 Any number of node processes may service the same spool concurrently —
@@ -37,17 +38,24 @@ SPOOL_VERSION = 1
 _TASKS = "tasks"
 _CLAIMED = "claimed"
 _RESULTS = "results"
+_HEARTBEATS = "heartbeats"
 _CONFIG = "config.json"
 _NODES = "nodes.json"
 
 #: Per-process cache of rebuilt scenario configs, keyed by spool root.
 _CONFIG_CACHE: Dict[str, Tuple[object, bool]] = {}
 
+#: Per-process monotonic heartbeat counters — (beats, sessions_done)
+#: keyed by (root, worker).  A node servicing one spool in several
+#: :func:`service_pending` calls keeps its beat sequence increasing,
+#: which is what receivers dedupe on.
+_BEAT_COUNTS: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
 
 def init_spool(root, config, want_trace: bool) -> None:
     """Create the spool layout and pin the job's scenario config."""
     root = Path(root)
-    for sub in (_TASKS, _CLAIMED, _RESULTS):
+    for sub in (_TASKS, _CLAIMED, _RESULTS, _HEARTBEATS):
         (root / sub).mkdir(parents=True, exist_ok=True)
     payload = {
         "version": SPOOL_VERSION,
@@ -129,7 +137,7 @@ def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
     presence marks the bundle complete.  Failures stay on this node's
     ledger as error sidecars; the scheduler decides about retries.
     """
-    from repro.sched.backends import _emit_task
+    from repro.sched.backends import _run_task
     from repro.store.npz import save_npz
 
     root = Path(root)
@@ -142,11 +150,14 @@ def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
     sidecar = root / _RESULTS / (stem + ".json")
     watch = stopwatch()
     try:
-        store, metrics, events = _emit_task(config, index, want_trace)
+        store, metrics, events, telemetry = _run_task(
+            config, index, want_trace
+        )
     except Exception as exc:
         _atomic_write_text(sidecar, json.dumps({
             "error": f"{type(exc).__name__}: {exc}", "worker": worker,
         }, sort_keys=True))
+        _write_heartbeat(root, worker, last_index=index, sessions=0)
         return sidecar
     # The tmp name must keep the .npz suffix (numpy appends one otherwise).
     npz_tmp = root / _RESULTS / (stem + f".tmp{os.getpid()}.npz")
@@ -158,8 +169,48 @@ def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
         "sessions": len(store),
         "metrics": metrics,
         "events": events,
+        "telemetry": telemetry,
     }, sort_keys=True))
+    _write_heartbeat(root, worker, last_index=index, sessions=len(store))
     return sidecar
+
+
+def _write_heartbeat(root: Path, worker: str, last_index: int,
+                     sessions: int) -> None:
+    """Refresh this worker's spool heartbeat file (one file, overwritten).
+
+    The beat counter is per (spool, worker) within this process, so the
+    sequence stays monotonic across :func:`service_pending` calls and the
+    scheduler's dedupe-by-beat works over file re-reads.
+    """
+    from repro.obs.resources import worker_heartbeat
+
+    key = (str(root), worker)
+    beats, sessions_done = _BEAT_COUNTS.get(key, (0, 0))
+    beats += 1
+    sessions_done += int(sessions)
+    _BEAT_COUNTS[key] = (beats, sessions_done)
+    payload = worker_heartbeat(
+        worker, beat=beats, state="idle", last_index=last_index,
+        tasks_done=beats, sessions_done=sessions_done,
+    )
+    _atomic_write_text(root / _HEARTBEATS / f"{worker}.json",
+                       json.dumps(payload, sort_keys=True))
+
+
+def read_heartbeats(root) -> list:
+    """Latest heartbeat payload per worker servicing this spool."""
+    beats = []
+    hb_dir = Path(root) / _HEARTBEATS
+    if not hb_dir.is_dir():
+        return beats
+    for path in sorted(hb_dir.glob("*.json")):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                beats.append(json.load(fh))
+        except (OSError, ValueError):
+            continue  # mid-write or unreadable; the next poll catches up
+    return beats
 
 
 def service_pending(root, limit: Optional[int] = None,

@@ -27,6 +27,7 @@ from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from repro.obs import get_metrics, stopwatch
 from repro.obs import trace as _trace
+from repro.obs.ledger import get_ledger
 from repro.sched.backends import Backend, TaskOutcome, make_backend
 from repro.sched.trace import (
     ShardTask,
@@ -68,6 +69,12 @@ class SchedulerConfig:
     #: Abort after this many consecutive empty collects with work
     #: outstanding (a dead backend; ~10 min at the default timeout).
     stall_collects: int = 2400
+    #: Surface a worker as stale after this many seconds without a
+    #: heartbeat while work is in flight (0 = stale detection off).
+    #: This fires long before the stall guard: one silent worker in a
+    #: healthy pool never empties ``collect``, so only the heartbeat
+    #: channel can name it.
+    heartbeat_stale_seconds: float = 30.0
 
     def resolved_max_workers(self) -> int:
         return self.max_workers if self.max_workers > 0 else self.workers
@@ -76,6 +83,65 @@ class SchedulerConfig:
         if self.feed_window > 0:
             return self.feed_window
         return 8 * max(self.workers, self.resolved_max_workers())
+
+
+class _HeartbeatMonitor:
+    """Parent-side view of worker liveness, fed from backend heartbeats.
+
+    Dedupes on each worker's monotonic ``beat`` counter (spool files and
+    re-drained queues may repeat a beat), keeps the freshest payload per
+    worker, and tracks silence: a worker unheard from for longer than
+    ``stale_after`` while work is in flight is reported exactly once per
+    silent episode (a fresh beat re-arms it).  Everything here is
+    physical telemetry — counters, trace events and ledger records it
+    produces are all declared volatile.
+    """
+
+    def __init__(self, stale_after: float):
+        self.stale_after = float(stale_after)
+        self._seen: Dict[str, int] = {}       # worker -> highest beat
+        self._last: Dict[str, object] = {}    # worker -> Stopwatch
+        self._latest: Dict[str, Dict] = {}    # worker -> freshest payload
+        self._stale: set = set()              # workers already reported
+
+    def observe(self, beats: List[Dict], metrics, ledger) -> None:
+        for beat in beats:
+            worker = str(beat.get("worker", "?"))
+            seq = int(beat.get("beat", 0))
+            if seq <= self._seen.get(worker, 0):
+                continue  # replayed or stale payload
+            self._seen[worker] = seq
+            self._last[worker] = stopwatch()
+            self._latest[worker] = beat
+            self._stale.discard(worker)
+            metrics.inc("sched.heartbeat.received")
+            rss = beat.get("rss_kb")
+            if rss:
+                metrics.gauge_max("sched.heartbeat.rss_kb_peak", rss)
+            _trace.emit("sched.heartbeat.worker",
+                        trace_id=f"sched.worker:{worker}", **beat)
+            if ledger is not None:
+                ledger.record_heartbeat(beat)
+
+    def newly_stale(self, inflight: int) -> List[str]:
+        """Workers crossing the silence threshold since the last check."""
+        if self.stale_after <= 0 or inflight <= 0:
+            return []
+        out = []
+        for worker in sorted(self._last):
+            if worker in self._stale:
+                continue
+            if self._last[worker].elapsed() > self.stale_after:
+                self._stale.add(worker)
+                out.append(worker)
+        return out
+
+    def latest(self, worker: str) -> Dict:
+        return self._latest.get(worker, {})
+
+    def silent_seconds(self, worker: str) -> float:
+        watch = self._last.get(worker)
+        return watch.elapsed() if watch is not None else 0.0
 
 
 class Scheduler:
@@ -120,6 +186,8 @@ class Scheduler:
         n_tasks = len(trace)
         feed_window = cfg.resolved_feed_window()
         max_workers = cfg.resolved_max_workers()
+        heartbeats = _HeartbeatMonitor(cfg.heartbeat_stale_seconds)
+        ledger = get_ledger()
 
         while len(results) < n_tasks:
             cycle += 1
@@ -138,6 +206,9 @@ class Scheduler:
                 inflight += 1
 
             outcomes = backend.collect(timeout=cfg.collect_timeout)
+            # Liveness first, completions second: a stuck worker must be
+            # surfaced even on (especially on) rounds that return nothing.
+            self._pulse(heartbeats, inflight, metrics, ledger)
             if not outcomes:
                 if inflight or delayed or pending:
                     idle_collects += 1
@@ -172,6 +243,27 @@ class Scheduler:
 
     # -- steps -----------------------------------------------------------------
 
+    def _pulse(self, heartbeats: _HeartbeatMonitor, inflight: int,
+               metrics, ledger) -> None:
+        """Fold fresh worker heartbeats in; name workers gone silent."""
+        heartbeats.observe(self.backend.heartbeats(), metrics, ledger)
+        for worker in heartbeats.newly_stale(inflight):
+            beat = heartbeats.latest(worker)
+            silent = round(heartbeats.silent_seconds(worker), 3)
+            metrics.inc("sched.heartbeat.stale")
+            _trace.emit(
+                "sched.heartbeat.stale",
+                trace_id=f"sched.worker:{worker}", worker=worker,
+                silent_seconds=silent, last_index=beat.get("last_index"),
+            )
+            if ledger is not None:
+                ledger.record_alert(
+                    "stale-worker",
+                    f"worker {worker} silent for {silent:.1f}s "
+                    f"(last task {beat.get('last_index')})",
+                    worker=worker, silent_seconds=silent,
+                )
+
     def _submit(self, task: ShardTask, attempt: int, metrics,
                 watches: Dict) -> None:
         self.backend.submit(task, attempt)
@@ -191,6 +283,23 @@ class Scheduler:
         metrics.inc("sched.tasks_completed")
         metrics.observe("sched.task_queue_seconds", queue_seconds)
         metrics.observe("sched.task_run_seconds", outcome.run_seconds)
+        telemetry = outcome.telemetry
+        if telemetry:
+            metrics.observe("resource.task_cpu_seconds",
+                            telemetry.get("cpu_seconds", 0.0))
+            metrics.observe("resource.task_max_rss_kb",
+                            telemetry.get("max_rss_kb", 0))
+            metrics.observe("resource.task_gc_pause_seconds",
+                            telemetry.get("gc_pause_seconds", 0.0))
+            metrics.observe("resource.task_gc_collections",
+                            telemetry.get("gc_collections", 0))
+        ledger = get_ledger()
+        if ledger is not None:
+            ledger.record_task(
+                task, sessions=len(outcome.store), attempt=outcome.attempt,
+                worker=outcome.worker, run_seconds=outcome.run_seconds,
+                queue_seconds=queue_seconds, telemetry=telemetry,
+            )
         _trace.emit(
             "sched.task.done", trace_id=task.trace_id,
             index=task.index, shard_kind=task.kind, attempt=outcome.attempt,
@@ -316,6 +425,13 @@ def generate_scheduled(
         # No backend name in the event data: the combined trace must be
         # identical whichever backend (and worker count) executed it.
         _trace.emit("sched.trace.built", tasks=len(trace), lam=trace.lam)
+        ledger = get_ledger()
+        if ledger is not None:
+            ledger.record_sched(
+                backend=backend_obj.name, workers=workers,
+                tasks=len(trace), lam=trace.lam,
+                makespan_virtual=trace.makespan_virtual,
+            )
         tracer = _trace.get_tracer()
         want_trace = tracer is not None
         emit_watch = stopwatch()

@@ -44,6 +44,10 @@ class HoneyfarmDataset:
     def n_sessions(self) -> int:
         return len(self.store)
 
+    def content_digest(self) -> str:
+        """The session store's content sha256 — the run-ledger identity."""
+        return self.store.content_digest()
+
     def campaign(self, campaign_id: str) -> Optional[CampaignRuntime]:
         for campaign in self.campaigns:
             if campaign.campaign_id == campaign_id:

@@ -307,6 +307,63 @@ def test_undeclared_sketch_family_member_fails_lint(tmp_path):
     assert "sketch.bogus_family" in result.findings[0].message
 
 
+def test_every_observability_pr_instrument_is_declared():
+    # Ledger accounting, per-task resource telemetry and the worker
+    # heartbeat protocol all record through declared families — same
+    # registry-sync contract as the sketch/block families above.
+    for name in ("ledger.tasks", "ledger.alerts", "ledger.writes",
+                 "ledger.records", "sched.heartbeat.received",
+                 "sched.heartbeat.stale"):
+        assert obs_names.is_declared(name, obs_names.COUNTERS), name
+    assert obs_names.is_declared("sched.heartbeat.rss_kb_peak",
+                                 obs_names.GAUGES)
+    for name in ("resource.task_cpu_seconds", "resource.task_max_rss_kb",
+                 "resource.task_gc_pause_seconds",
+                 "resource.task_gc_collections"):
+        assert obs_names.is_declared(name, obs_names.HISTOGRAMS), name
+    for kind in ("sched.heartbeat.worker", "sched.heartbeat.stale"):
+        assert obs_names.is_declared(kind, obs_names.TRACE_KINDS), kind
+
+
+def test_every_description_pattern_names_a_declared_family():
+    # DESCRIPTIONS feeds Prometheus # HELP lines; a description for a
+    # pattern that is not in the matching family is a stale entry.
+    for family, patterns in obs_names.DESCRIPTIONS.items():
+        declared = obs_names.FAMILIES[family]
+        for pattern in patterns:
+            assert pattern in declared, (family, pattern)
+
+
+def test_describe_exact_wildcard_and_unknown():
+    assert obs_names.describe("counter", "ledger.tasks")  # via ledger.*
+    exact = obs_names.describe("counter", "cache.hits")
+    assert exact == obs_names.DESCRIPTIONS["counter"]["cache.hits"]
+    assert obs_names.describe("counter", "no.such.name") == ""
+
+
+def test_undeclared_ledger_family_member_fails_lint(tmp_path):
+    p = tmp_path / "ledger_ext.py"
+    p.write_text(
+        "from repro.obs import get_metrics\n"
+        "def f():\n"
+        "    get_metrics().inc('ledger.bogus')\n"
+    )
+    result = run_lint([p], rules=select_rules(["registry-names"]),
+                      baseline=None)
+    # ledger.* is a declared wildcard family: any member passes.
+    assert result.findings == []
+    p2 = tmp_path / "ledger_bad.py"
+    p2.write_text(
+        "from repro.obs import get_metrics\n"
+        "def f():\n"
+        "    get_metrics().inc('ledgerz.bogus')\n"
+    )
+    result = run_lint([p2], rules=select_rules(["registry-names"]),
+                      baseline=None)
+    assert [f.rule for f in result.findings] == ["registry-names"]
+    assert "ledgerz.bogus" in result.findings[0].message
+
+
 def test_registry_rule_ignores_non_instrument_calls(tmp_path):
     p = tmp_path / "not_metrics.py"
     p.write_text(

@@ -30,6 +30,7 @@ from repro.obs.trace import (
     get_tracer,
     group_by_trace,
     strip_volatile,
+    strip_volatile_events,
     use_tracer,
     validate_trace,
 )
@@ -275,6 +276,122 @@ class TestPrometheusExport:
         text = render_prometheus(m)
         assert "repro_farm_alerts_fresh_hash 1" in text
 
+    def test_colliding_names_disambiguated(self):
+        # Both sanitise to repro_a_b_c; exposing the pair untouched would
+        # make Prometheus silently merge two different series.
+        m = Metrics()
+        m.inc("a.b-c", 1)
+        m.inc("a.b_c", 2)
+        text = render_prometheus(m)
+        exposed = [line.split()[0] for line in text.splitlines()
+                   if line and not line.startswith("#")]
+        assert len(exposed) == len(set(exposed))
+        assert "repro_a_b_c 1" not in text and "repro_a_b_c 2" not in text
+        colliders = [n for n in exposed if n.startswith("repro_a_b_c_")]
+        assert len(colliders) == 2
+        for name in colliders:
+            suffix = name.rsplit("_", 1)[1]
+            assert len(suffix) == 6
+            int(suffix, 16)  # deterministic hex digest, not a counter
+
+    def test_collision_suffixes_stable_across_runs(self):
+        m1, m2 = Metrics(), Metrics()
+        for m in (m1, m2):
+            m.inc("a.b-c")
+            m.inc("a.b_c")
+        assert render_prometheus(m1) == render_prometheus(m2)
+
+    def test_help_lines_come_from_name_registry(self):
+        from repro.obs.names import describe
+
+        m = Metrics()
+        m.inc("store.sessions_appended", 7)
+        m.inc("ledger.tasks", 3)  # matches the ledger.* family pattern
+        text = render_prometheus(m)
+        direct = describe("counter", "store.sessions_appended")
+        family = describe("counter", "ledger.tasks")
+        assert direct and f"# HELP repro_store_sessions_appended {direct}" \
+            in text
+        assert family and f"# HELP repro_ledger_tasks {family}" in text
+
+    def test_undeclared_name_gets_no_help_line(self):
+        m = Metrics()
+        m.inc("totally.undeclared.thing")
+        text = render_prometheus(m)
+        assert "# TYPE repro_totally_undeclared_thing counter" in text
+        assert "# HELP repro_totally_undeclared_thing" not in text
+
+    def test_empty_histogram_emits_nan_quantiles(self):
+        m = Metrics()
+        m.histogram("resource.task_cpu_seconds")  # registered, never fed
+        text = render_prometheus(m)
+        assert (
+            'repro_resource_task_cpu_seconds{quantile="0.5"} NaN\n'
+            'repro_resource_task_cpu_seconds{quantile="0.9"} NaN\n'
+            'repro_resource_task_cpu_seconds{quantile="0.99"} NaN\n'
+            "repro_resource_task_cpu_seconds_sum 0\n"
+            "repro_resource_task_cpu_seconds_count 0\n"
+        ) in text
+
+
+class TestExporterEdgeCases:
+    """Timeline / Chrome exporters on empty, single and stripped traces."""
+
+    def _one_event(self):
+        t = Tracer()
+        t.emit("only", trace_id="solo", sim_time=3.0)
+        return t.to_list()
+
+    def test_timeline_empty_input(self):
+        assert render_timeline([]) == "(no sim-time-stamped events to draw)"
+
+    def test_chrome_empty_input(self):
+        assert chrome_trace_events([]) == []
+
+    def test_timeline_single_event(self):
+        text = render_timeline(self._one_event())
+        assert "1 traces, 1 stamped events" in text
+        assert "solo" in text and "n=1" in text
+
+    def test_chrome_single_event(self):
+        out = chrome_trace_events(self._one_event())
+        assert [e["ph"] for e in out] == ["X", "i"]
+        slice_ = out[0]
+        assert slice_["name"] == "solo"
+        assert slice_["dur"] == 1.0  # zero-length span keeps a visible dur
+
+    def test_timeline_identical_after_strip_volatile(self):
+        t = Tracer()
+        with t.context("alpha"):
+            t.emit("one", sim_time=0.0)
+            t.emit("two", sim_time=10.0)
+        t.emit("three", trace_id="beta", sim_time=5.0)
+        events = t.to_list()
+        stripped = [strip_volatile(e) for e in events]
+        # The timeline only reads logical fields, so a volatile-stripped
+        # trace (no seq/wall/shard) must render byte-identically.
+        assert render_timeline(stripped) == render_timeline(events)
+
+    def test_chrome_works_on_stripped_events(self):
+        t = Tracer()
+        t.emit("one", trace_id="alpha", sim_time=0.0)
+        t.emit("two", trace_id="alpha", sim_time=2.0)
+        events = [strip_volatile(e) for e in t.to_list()]
+        out = chrome_trace_events(events)
+        slices = [e for e in out if e["ph"] == "X"]
+        assert len(slices) == 1
+        assert slices[0]["pid"] == 0  # shard provenance stripped -> pid 0
+        assert slices[0]["dur"] == pytest.approx(2e6)
+
+    def test_heartbeat_events_strippable_before_export(self):
+        t = Tracer()
+        t.emit("sched.task.done", trace_id="sched:bg:k:0", sim_time=1.0)
+        t.emit("sched.heartbeat.worker", trace_id="sched.worker:pool-0",
+               sim_time=2.0, worker="pool-0", beat=1)
+        kept = strip_volatile_events(t.to_list())
+        assert [e["kind"] for e in kept] == ["sched.task.done"]
+        assert "sched.worker:pool-0" not in render_timeline(kept)
+
 
 class TestInstrumentedPaths:
     def test_session_events_carry_session_trace_id(self):
@@ -372,6 +489,9 @@ class TestWorkerCountInvariance:
     def test_per_trace_sequences_match(self, traces):
         normal = {}
         for workers, events in traces.items():
+            # Heartbeats are volatile *as a kind*: per-worker liveness is
+            # real operational signal but is never worker-count-invariant.
+            events = strip_volatile_events(events)
             normal[workers] = {
                 tid: [strip_volatile(e) for e in evs]
                 for tid, evs in group_by_trace(events).items()
