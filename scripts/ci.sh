@@ -27,6 +27,28 @@ if python -m repro lint "$SCRATCH/seeded" --no-baseline > /dev/null 2>&1; then
 fi
 echo "lint self-check ok (seeded violation rejected)"
 
+echo "== whole-program lint (taint, stream lineage, worker boundaries) =="
+python -m repro lint --rules determinism-flow,rng-lineage,worker-boundary src
+python -m repro lint src --no-baseline --format sarif > "$SCRATCH/lint.sarif"
+python - "$SCRATCH/lint.sarif" <<'PY'
+import json
+import sys
+
+from repro.lint import validate_sarif
+
+with open(sys.argv[1], encoding="utf-8") as fh:
+    payload = json.load(fh)
+problems = validate_sarif(payload)
+if problems:
+    raise SystemExit("SARIF artifact invalid: " + "; ".join(problems[:5]))
+results = payload["runs"][0]["results"]
+if results:
+    raise SystemExit(f"SARIF artifact reports {len(results)} finding(s)")
+rules = payload["runs"][0]["tool"]["driver"]["rules"]
+print(f"lint-graph ok (SARIF artifact valid, {len(rules)} rules declared, "
+      f"0 findings)")
+PY
+
 # Third-party tooling is optional in this container: gate on availability
 # so the pipeline stays runnable offline, but never silently skip.
 echo "== ruff (gated on availability) =="
@@ -39,7 +61,7 @@ fi
 
 echo "== mypy (gated on availability) =="
 if command -v mypy > /dev/null 2>&1; then
-    mypy src/repro/lint src/repro/obs
+    mypy src/repro/lint src/repro/obs src/repro/sched src/repro/analytics
 else
     echo "mypy not installed; skipping (pip install -e '.[dev]' to enable)"
 fi

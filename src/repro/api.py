@@ -211,7 +211,11 @@ def load(path: PathLike, config=None):
 
     registry = GeoRegistry()
     deployment = build_default_deployment(
-        RngStream(config.seed, "workload.deployment"), registry
+        # Intentional name reuse: loading a dataset replays the exact
+        # stream the generator used, so the rebuilt deployment matches
+        # the one the stored sessions were drawn against.
+        RngStream(config.seed, "workload.deployment"),  # repro: lint-ok[rng-lineage]
+        registry,
     )
     return HoneyfarmDataset(
         config=config,

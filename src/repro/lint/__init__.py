@@ -19,30 +19,41 @@ the rule-by-rule rationale.
 """
 
 from repro.lint.baseline import (
+    BaselineRatchetError,
     DEFAULT_BASELINE,
     apply_baseline,
     load_baseline,
     write_baseline,
 )
+from repro.lint.dataflow import DataflowAnalysis, Evidence, TaintFinding
 from repro.lint.engine import LintResult, iter_python_files, lint_file, run_lint
 from repro.lint.findings import Finding, render_text, to_json
+from repro.lint.graph import ProjectGraph
 from repro.lint.rules import (
     ALL_RULES,
     FileContext,
+    ProjectRule,
     Rule,
     default_rules,
     rules_by_id,
     select_rules,
 )
+from repro.lint.sarif import to_sarif, validate_sarif
 from repro.lint.suppressions import collect_suppressions, is_suppressed
 
 __all__ = [
     "ALL_RULES",
+    "BaselineRatchetError",
     "DEFAULT_BASELINE",
+    "DataflowAnalysis",
+    "Evidence",
     "FileContext",
     "Finding",
     "LintResult",
+    "ProjectGraph",
+    "ProjectRule",
     "Rule",
+    "TaintFinding",
     "apply_baseline",
     "collect_suppressions",
     "default_rules",
@@ -55,5 +66,7 @@ __all__ = [
     "run_lint",
     "select_rules",
     "to_json",
+    "to_sarif",
+    "validate_sarif",
     "write_baseline",
 ]

@@ -23,6 +23,28 @@ BASELINE_VERSION = 1
 DEFAULT_BASELINE = "lint_baseline.json"
 
 
+class BaselineRatchetError(ValueError):
+    """Refusal to grow a baseline: the ratchet only turns one way.
+
+    Raised by :func:`write_baseline` (without ``force=True``) when the
+    new findings would *increase* any per-``(path, rule)`` count over
+    the baseline already on disk.  Shrinking counts, dropping keys and
+    moving findings within a file are always allowed — only net new
+    debt needs ``--force``.
+    """
+
+    def __init__(self, grown: Dict[str, Tuple[int, int]]):
+        self.grown = dict(grown)
+        detail = ", ".join(
+            f"{key} ({old} -> {new})"
+            for key, (old, new) in sorted(grown.items())
+        )
+        super().__init__(
+            f"baseline ratchet: refusing to grow finding counts "
+            f"({detail}); pass force=True/--force to accept new debt"
+        )
+
+
 def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
     """Read a baseline file -> ``{"path::rule": count}`` (missing = empty)."""
     p = Path(path)
@@ -35,11 +57,29 @@ def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
     return {str(key): int(n) for key, n in counts.items()}
 
 
-def write_baseline(path: Union[str, Path], findings: List[Finding]) -> None:
-    """Accept ``findings`` as the new baseline at ``path``."""
+def write_baseline(
+    path: Union[str, Path], findings: List[Finding],
+    force: bool = False,
+) -> None:
+    """Accept ``findings`` as the new baseline at ``path``.
+
+    When a baseline already exists at ``path``, any per-key count
+    increase raises :class:`BaselineRatchetError` unless ``force`` —
+    the ratchet that keeps CI from quietly re-grandfathering new debt.
+    Writing a first baseline to a fresh path is always allowed.
+    """
     counts: Dict[str, int] = {}
     for f in findings:
         counts[f.key] = counts.get(f.key, 0) + 1
+    if not force and Path(path).exists():
+        existing = load_baseline(path)
+        grown = {
+            key: (existing.get(key, 0), count)
+            for key, count in counts.items()
+            if count > existing.get(key, 0)
+        }
+        if grown:
+            raise BaselineRatchetError(grown)
     payload = {
         "version": BASELINE_VERSION,
         "findings": {key: counts[key] for key in sorted(counts)},

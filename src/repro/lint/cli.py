@@ -12,10 +12,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.lint.baseline import DEFAULT_BASELINE, write_baseline
+from repro.lint.baseline import BaselineRatchetError, DEFAULT_BASELINE, \
+    write_baseline
 from repro.lint.engine import run_lint
 from repro.lint.findings import render_text, to_json
-from repro.lint.rules import ALL_RULES, select_rules
+from repro.lint.rules import ALL_RULES, default_rules, select_rules
+from repro.lint.sarif import to_sarif
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -26,8 +28,9 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
              "else the current directory)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="report format (default: text)",
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="report format (default: text); sarif emits a SARIF 2.1.0 "
+             "log for CI code-scanning annotations",
     )
     parser.add_argument(
         "--baseline", default=None, metavar="FILE",
@@ -40,7 +43,12 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--write-baseline", action="store_true",
-        help="accept the current findings as the new baseline and exit 0",
+        help="accept the current findings as the new baseline and exit 0 "
+             "(refuses to grow existing counts without --force)",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="allow --write-baseline to grow finding counts (new debt)",
     )
     parser.add_argument(
         "--rules", default=None, metavar="ID[,ID...]",
@@ -88,7 +96,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
         # Baseline what a no-baseline run reports (suppressions still apply).
         result = run_lint(paths, rules=rules, baseline=None)
         target = args.baseline or DEFAULT_BASELINE
-        write_baseline(target, result.findings)
+        try:
+            write_baseline(target, result.findings, force=args.force)
+        except BaselineRatchetError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         print(f"baseline of {len(result.findings)} finding(s) "
               f"written to {target}")
         return 0
@@ -96,6 +108,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
     result = run_lint(paths, rules=rules, baseline=baseline)
     if args.format == "json":
         sys.stdout.write(to_json(result.findings, baselined=result.baselined))
+    elif args.format == "sarif":
+        sys.stdout.write(to_sarif(result.findings,
+                                  rules if rules is not None
+                                  else default_rules()))
     else:
         print(render_text(result.findings))
         notes = [f"{result.files} file(s) linted"]

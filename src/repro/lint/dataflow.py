@@ -1,0 +1,650 @@
+"""The interprocedural determinism taint engine.
+
+Seeds taint at *nondeterministic sources* — wall-clock reads,
+environment reads, ``id()``/``hash()`` object identity, process
+identity, unsorted directory listings — and propagates it along the
+:class:`~repro.lint.graph.ProjectGraph` call graph to *sinks*: store
+append paths, trace-event payloads, and hash-verified output.  Every
+finding carries the full source→sink call path, so a nondeterministic
+value threading three frames into a store column reads as one line.
+
+The analysis is a classic two-level fixpoint:
+
+* **intraprocedural** — each function body is walked twice (a cheap
+  loop approximation), tracking a token set per local name.  Tokens are
+  either :class:`Evidence` (a concrete source observation plus the call
+  chain it travelled) or a bare parameter index (symbolic taint used to
+  build summaries).
+* **interprocedural** — each function gets a :class:`Summary` (does the
+  return carry taint? which parameters flow to the return? which
+  parameters reach a sink?).  Summaries are iterated to a fixpoint over
+  the call graph, so cycles and mutual recursion converge; the final
+  pass collects findings.
+
+Sanitizers are *layers*, mirroring the per-file rules' allowlists: the
+``obs``/``lint`` layers may read clocks and environment by design, so
+functions defined there are treated as returning clean values and are
+not analysed for sinks.  The obs boundary is audited separately — by
+the per-file ``wall-clock`` rule and the volatile-fields contracts of
+the tracer and ledger (DESIGN sections 6d/6i).
+
+Soundness limits (documented, deliberate): no implicit flows (a branch
+on a tainted value does not taint what the branch computes), no
+container element tracking (a tainted element taints the whole
+container, never selectively), comprehension bodies are opaque, and
+attribute stores on ``self`` do not persist across methods.  See DESIGN
+section 6j for the full table.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, \
+    Tuple, Union
+
+from repro.lint.graph import CallSite, FunctionInfo, ModuleInfo, \
+    ProjectGraph, dotted_name
+
+#: Layers whose functions are trusted sanitizers: values they return are
+#: treated as clean and their bodies are not searched for sinks.
+SANITIZED_LAYERS: Tuple[str, ...] = ("obs/", "lint/", "__main__.py")
+
+#: Trace-event kinds excluded from the trace sink: declared volatile,
+#: stripped before any byte-identity comparison (see repro.obs.trace).
+VOLATILE_TRACE_KINDS: Tuple[str, ...] = ("sched.heartbeat.*",)
+
+#: Longest call chain retained in evidence (longer chains truncate).
+MAX_CHAIN = 10
+
+#: ``time.<func>`` names that read a real clock.
+_TIME_FUNCS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock_gettime",
+})
+_DATETIME_CALLS = frozenset({"now", "utcnow", "today", "fromtimestamp"})
+_PROCESS_IDENTITY = frozenset({
+    "os.getpid", "os.getppid", "socket.gethostname", "platform.node",
+    "uuid.uuid1", "uuid.uuid4",
+})
+_FS_LISTINGS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+_FS_PATH_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Store-append method names that always sink (no receiver guess needed).
+_STORE_SINK_METHODS = frozenset({
+    "append_block", "append_interned", "adopt", "adopt_store",
+})
+#: ``.append`` sinks only on receivers that look like builders/stores —
+#: plain ``list.append`` must not.
+_BUILDER_HINTS = ("builder", "store")
+
+#: Mutating container methods (used by the worker-boundary rule too).
+MUTATING_METHODS = frozenset({
+    "append", "add", "update", "pop", "popitem", "extend", "setdefault",
+    "clear", "remove", "discard", "insert", "appendleft", "extendleft",
+    "__setitem__",
+})
+
+
+@dataclass(frozen=True)
+class Evidence:
+    """One concrete nondeterministic observation plus its travel path."""
+
+    kind: str          # "wall-clock" | "env-read" | "object-identity" | ...
+    source_desc: str   # e.g. "time.perf_counter()"
+    source_path: str
+    source_line: int
+    chain: Tuple[str, ...] = ()   # pretty frames traversed, source first
+
+    def through(self, frame: str) -> "Evidence":
+        if self.chain and self.chain[-1] == frame:
+            return self
+        if len(self.chain) >= MAX_CHAIN:
+            return self
+        return Evidence(self.kind, self.source_desc, self.source_path,
+                        self.source_line, self.chain + (frame,))
+
+    def render(self) -> str:
+        head = f"{self.source_desc} ({self.source_path}:{self.source_line})"
+        return " -> ".join((head,) + self.chain)
+
+
+#: A taint token: concrete evidence, or a parameter index (symbolic).
+Token = Union[Evidence, int]
+TokenSet = Set[Token]
+
+
+def _token_order(token: Token) -> Tuple[int, str, str, int, str, str]:
+    """A total order over tokens, for deterministic set iteration."""
+    if isinstance(token, int):
+        return (0, "", "", token, "", "")
+    return (1, token.kind, token.source_path, token.source_line,
+            token.source_desc, " -> ".join(token.chain))
+
+
+@dataclass(frozen=True)
+class SinkHit:
+    """A sink reachable from a parameter of the summarised function."""
+
+    sink_desc: str
+    path: str
+    line: int
+    col: int
+    chain: Tuple[str, ...] = ()   # frames from the summarised fn to the sink
+
+    def through(self, frame: str) -> "SinkHit":
+        if len(self.chain) >= MAX_CHAIN:
+            return self
+        return SinkHit(self.sink_desc, self.path, self.line, self.col,
+                       (frame,) + self.chain)
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """A complete source→sink flow, located at the sink."""
+
+    path: str
+    line: int
+    col: int
+    kind: str
+    message: str
+
+
+@dataclass
+class Summary:
+    """What callers need to know about one function."""
+
+    returns: Optional[Evidence] = None
+    param_to_return: FrozenSet[int] = frozenset()
+    param_sinks: Dict[int, SinkHit] = field(default_factory=dict)
+    findings: List[TaintFinding] = field(default_factory=list)
+
+    def signature(self) -> Tuple[bool, FrozenSet[int], FrozenSet[int]]:
+        """The part of the summary the fixpoint iterates on."""
+        return (self.returns is not None, self.param_to_return,
+                frozenset(self.param_sinks))
+
+
+class DataflowAnalysis:
+    """Run the taint engine over a built :class:`ProjectGraph`."""
+
+    def __init__(self, graph: ProjectGraph,
+                 sanitized_layers: Sequence[str] = SANITIZED_LAYERS,
+                 volatile_trace_kinds: Sequence[str] = VOLATILE_TRACE_KINDS,
+                 max_passes: int = 12):
+        self.graph = graph
+        self.sanitized_layers = tuple(sanitized_layers)
+        self.volatile_trace_kinds = tuple(volatile_trace_kinds)
+        self.max_passes = max_passes
+        self.summaries: Dict[str, Summary] = {}
+
+    # -- public ----------------------------------------------------------------
+
+    def run(self) -> List[TaintFinding]:
+        """Fixpoint over all function summaries; returns deduped findings."""
+        order = sorted(self.graph.functions)
+        for fid in order:
+            self.summaries[fid] = Summary()
+        for _ in range(self.max_passes):
+            changed = False
+            for fid in order:
+                if self._sanitized(self.graph.functions[fid]):
+                    continue
+                new = self._analyze(self.graph.functions[fid])
+                if new.signature() != self.summaries[fid].signature():
+                    changed = True
+                self.summaries[fid] = new
+            if not changed:
+                break
+        seen: Set[Tuple[str, int, int, str]] = set()
+        findings: List[TaintFinding] = []
+        for fid in order:
+            for finding in self.summaries[fid].findings:
+                key = (finding.path, finding.line, finding.col, finding.kind)
+                if key not in seen:
+                    seen.add(key)
+                    findings.append(finding)
+        return findings
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _sanitized(self, fn: FunctionInfo) -> bool:
+        for prefix in self.sanitized_layers:
+            if fn.rel == prefix or fn.rel.startswith(prefix):
+                return True
+        return False
+
+    def _module_of(self, fn: FunctionInfo) -> ModuleInfo:
+        return self.graph.modules[fn.module]
+
+    def _analyze(self, fn: FunctionInfo) -> Summary:
+        return _FunctionAnalyzer(self, fn).run()
+
+
+class _FunctionAnalyzer:
+    """One function body, walked twice, against current summaries."""
+
+    def __init__(self, analysis: DataflowAnalysis, fn: FunctionInfo):
+        self.analysis = analysis
+        self.graph = analysis.graph
+        self.fn = fn
+        self.module = analysis._module_of(fn)
+        self.env: Dict[str, TokenSet] = {
+            name: {i} for i, name in enumerate(fn.params)
+        }
+        self.summary = Summary()
+
+    def run(self) -> Summary:
+        body = list(getattr(self.fn.node, "body", []))
+        for _ in range(2):   # second pass approximates loop-carried flow
+            self._stmts(body)
+        self.summary.findings = list(dict.fromkeys(self.summary.findings))
+        return self.summary
+
+    # -- statements ------------------------------------------------------------
+
+    def _stmts(self, stmts: Iterable[ast.stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return   # nested defs are analysed as their own functions
+        if isinstance(stmt, ast.Assign):
+            tokens = self._expr(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, tokens)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self._assign(stmt.target, self._expr(stmt.value))
+        elif isinstance(stmt, ast.AugAssign):
+            tokens = self._expr(stmt.value)
+            self._assign(stmt.target, tokens, augment=True)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._flow_to_return(self._expr(stmt.value))
+        elif isinstance(stmt, ast.Expr):
+            self._expr(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._assign(stmt.target, self._expr(stmt.iter))
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._expr(stmt.test)
+            self._stmts(stmt.body)
+            self._stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                tokens = self._expr(item.context_expr)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, tokens)
+            self._stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._stmts(handler.body)
+            self._stmts(stmt.orelse)
+            self._stmts(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Assert)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._expr(child)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+
+    def _assign(self, target: ast.expr, tokens: TokenSet,
+                augment: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            if augment:
+                self.env[target.id] = self.env.get(target.id, set()) | tokens
+            else:
+                self.env[target.id] = set(tokens)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, tokens, augment=True)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, tokens, augment=True)
+        elif isinstance(target, (ast.Subscript, ast.Attribute)):
+            # record["t"] = tainted  /  obj.t = tainted: taint the root
+            # name so a later use of the container carries the taint.
+            root: ast.expr = target
+            while isinstance(root, (ast.Subscript, ast.Attribute)):
+                root = root.value
+            if isinstance(root, ast.Name) and tokens:
+                self.env[root.id] = self.env.get(root.id, set()) | tokens
+
+    def _flow_to_return(self, tokens: TokenSet) -> None:
+        for token in tokens:
+            if isinstance(token, int):
+                self.summary.param_to_return = (
+                    self.summary.param_to_return | {token}
+                )
+            elif self.summary.returns is None:
+                self.summary.returns = token
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, node: ast.expr) -> TokenSet:
+        if isinstance(node, ast.Name):
+            return set(self.env.get(node.id, set()))
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Subscript):
+            source = self._env_subscript_source(node)
+            if source is not None:
+                return source
+            return self._expr(node.value) | self._expr(node.slice)
+        if isinstance(node, ast.Attribute):
+            return self._expr(node.value)
+        if isinstance(node, ast.BinOp):
+            return self._expr(node.left) | self._expr(node.right)
+        if isinstance(node, ast.BoolOp):
+            out: TokenSet = set()
+            for value in node.values:
+                out |= self._expr(value)
+            return out
+        if isinstance(node, ast.UnaryOp):
+            if isinstance(node.op, ast.Not):
+                self._expr(node.operand)
+                return set()
+            return self._expr(node.operand)
+        if isinstance(node, ast.Compare):
+            self._expr(node.left)
+            for comp in node.comparators:
+                self._expr(comp)
+            return set()   # comparisons feed control flow, not values
+        if isinstance(node, ast.IfExp):
+            self._expr(node.test)
+            return self._expr(node.body) | self._expr(node.orelse)
+        if isinstance(node, ast.JoinedStr):
+            out = set()
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    out |= self._expr(value.value)
+            return out
+        if isinstance(node, ast.FormattedValue):
+            return self._expr(node.value)
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            out = set()
+            for elt in node.elts:
+                out |= self._expr(elt)
+            return out
+        if isinstance(node, ast.Dict):
+            out = set()
+            for key in node.keys:
+                if key is not None:
+                    out |= self._expr(key)
+            for value in node.values:
+                out |= self._expr(value)
+            return out
+        if isinstance(node, ast.Starred):
+            return self._expr(node.value)
+        if isinstance(node, ast.Await):
+            return self._expr(node.value)
+        if isinstance(node, (ast.Yield, ast.YieldFrom)):
+            if node.value is not None:
+                self._flow_to_return(self._expr(node.value))
+            return set()
+        if isinstance(node, ast.NamedExpr):
+            tokens = self._expr(node.value)
+            self._assign(node.target, tokens)
+            return tokens
+        # Constants, lambdas, comprehensions (opaque): clean.
+        return set()
+
+    # -- calls -----------------------------------------------------------------
+
+    def _call(self, call: ast.Call) -> TokenSet:
+        # 1. Is the call itself a nondeterministic source?
+        source = self._source_at(call)
+        arg_tokens: List[TokenSet] = [self._expr(a) for a in call.args]
+        kw_tokens: Dict[str, TokenSet] = {
+            kw.arg: self._expr(kw.value) for kw in call.keywords
+            if kw.arg is not None
+        }
+        for kw in call.keywords:
+            if kw.arg is None:
+                kw_tokens.setdefault("**", set()).update(self._expr(kw.value))
+        receiver_tokens: TokenSet = set()
+        if isinstance(call.func, ast.Attribute):
+            receiver_tokens = self._expr(call.func.value)
+        if source is not None:
+            return {source}
+
+        site = self._site_for(call)
+
+        # 2. Sink check (the engine's reason to exist).
+        self._check_sink(call, site, arg_tokens, kw_tokens)
+
+        # 3. Result taint from callee summaries.
+        out: TokenSet = set()
+        frame = self.fn.pretty
+        targets = site.targets if site is not None else ()
+        for target_fid in targets:
+            summary = self.analysis.summaries.get(target_fid)
+            target = self.graph.functions[target_fid]
+            if summary is None:
+                continue
+            if summary.returns is not None:
+                out.add(summary.returns.through(target.pretty).through(frame))
+            offset = 1 if target.class_name is not None \
+                and isinstance(call.func, ast.Attribute) else 0
+            for index, tokens in self._map_args(
+                    target, offset, arg_tokens, kw_tokens):
+                if not tokens:
+                    continue
+                if index in summary.param_to_return:
+                    out |= self._extend(tokens, target.pretty, frame)
+                hit = summary.param_sinks.get(index)
+                if hit is not None:
+                    self._record_cross_finding(tokens, target, hit)
+        if site is None or not site.targets:
+            # External / unresolved call: conservative pass-through of
+            # argument and receiver taint (str(x), x.strip(), ...).
+            fs_clean = isinstance(call.func, ast.Name) \
+                and call.func.id == "sorted"
+            for tokens in arg_tokens:
+                out |= tokens
+            for tokens in kw_tokens.values():
+                out |= tokens
+            out |= receiver_tokens
+            if fs_clean:
+                # Set-to-set filter; no iteration order reaches output.
+                out = {t for t in out  # repro: lint-ok[unordered-iter]
+                       if not (isinstance(t, Evidence)
+                               and t.kind == "fs-order")}
+        return out
+
+    def _extend(self, tokens: TokenSet, callee_frame: str,
+                frame: str) -> TokenSet:
+        out: TokenSet = set()
+        for token in tokens:
+            if isinstance(token, Evidence):
+                out.add(token.through(callee_frame).through(frame))
+            else:
+                out.add(token)
+        return out
+
+    def _site_for(self, call: ast.Call) -> Optional[CallSite]:
+        for site in self.fn.calls:
+            if site.node is call:
+                return site
+        return None
+
+    @staticmethod
+    def _map_args(target: FunctionInfo, offset: int,
+                  arg_tokens: List[TokenSet],
+                  kw_tokens: Dict[str, TokenSet]) -> \
+            Iterable[Tuple[int, TokenSet]]:
+        """(callee param index, caller token set) pairs for one call."""
+        for pos, tokens in enumerate(arg_tokens):
+            index = pos + offset
+            if index < len(target.params):
+                yield index, tokens
+        for name, tokens in kw_tokens.items():
+            if name == "**":
+                continue
+            if name in target.params:
+                yield target.params.index(name), tokens
+
+    # -- sources ---------------------------------------------------------------
+
+    def _resolved_dotted(self, node: ast.expr) -> Optional[str]:
+        """The dotted callee with the root import alias resolved."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        root, _, rest = dotted.partition(".")
+        if root in self.module.imports:
+            base = self.module.imports[root]
+            return f"{base}.{rest}" if rest else base
+        if root in self.module.from_imports:
+            base = self.module.from_imports[root]
+            return f"{base}.{rest}" if rest else base
+        return dotted
+
+    def _source_at(self, call: ast.Call) -> Optional[Evidence]:
+        resolved = self._resolved_dotted(call.func)
+        kind: Optional[str] = None
+        desc = ""
+        if resolved is not None:
+            head, _, tail = resolved.partition(".")
+            terminal = resolved.rsplit(".", 1)[-1]
+            if head == "time" and tail in _TIME_FUNCS:
+                kind, desc = "wall-clock", f"{resolved}()"
+            elif head == "datetime" and terminal in _DATETIME_CALLS:
+                kind, desc = "wall-clock", f"{resolved}()"
+            elif resolved in ("os.getenv", "os.environ.get"):
+                kind, desc = "env-read", f"{resolved}(...)"
+            elif resolved in _PROCESS_IDENTITY:
+                kind, desc = "process-identity", f"{resolved}()"
+            elif resolved in _FS_LISTINGS:
+                kind, desc = "fs-order", f"{resolved}(...)"
+        if kind is None and isinstance(call.func, ast.Name) \
+                and call.func.id in ("id", "hash") and call.args \
+                and call.func.id not in self.env \
+                and call.func.id not in self.module.functions \
+                and call.func.id not in self.module.from_imports:
+            kind, desc = "object-identity", f"{call.func.id}(...)"
+        if kind is None and isinstance(call.func, ast.Attribute) \
+                and call.func.attr in _FS_PATH_METHODS \
+                and not isinstance(call.func.value, ast.Constant):
+            # Path-like .glob/.rglob/.iterdir; datetime handled above.
+            receiver = dotted_name(call.func.value)
+            if receiver is None or receiver.split(".")[0] not in (
+                    "os", "glob"):
+                kind = "fs-order"
+                desc = f".{call.func.attr}(...)"
+        if kind is None:
+            return None
+        return Evidence(kind, desc, self.fn.path, call.lineno,
+                        (self.fn.pretty,))
+
+    def _env_subscript_source(self, node: ast.Subscript) -> \
+            Optional[TokenSet]:
+        resolved = self._resolved_dotted(node.value)
+        if resolved == "os.environ":
+            return {Evidence("env-read", "os.environ[...]", self.fn.path,
+                             node.lineno, (self.fn.pretty,))}
+        return None
+
+    # -- sinks -----------------------------------------------------------------
+
+    def _sink_desc(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            method = func.attr
+            if method in _STORE_SINK_METHODS:
+                return f"store sink `.{method}(...)`"
+            if method == "append":
+                receiver = (dotted_name(func.value) or "").lower()
+                if any(hint in receiver for hint in _BUILDER_HINTS):
+                    return f"store sink `{receiver}.append(...)`"
+                return None
+            if method == "emit" and call.args:
+                first = call.args[0]
+                if isinstance(first, ast.Constant) \
+                        and isinstance(first.value, str):
+                    kind = first.value
+                    for pattern in self.analysis.volatile_trace_kinds:
+                        if fnmatchcase(kind, pattern):
+                            return None
+                    return f"trace payload `emit({kind!r}, ...)`"
+                return None
+        resolved = self._resolved_dotted(func)
+        if resolved in ("hashlib.sha256", "hashlib.md5", "hashlib.blake2b"):
+            return f"hashed output `{resolved}(...)`"
+        return None
+
+    def _check_sink(self, call: ast.Call, site: Optional[CallSite],
+                    arg_tokens: List[TokenSet],
+                    kw_tokens: Dict[str, TokenSet]) -> None:
+        desc = self._sink_desc(call)
+        if desc is None:
+            return
+        skip_first = desc.startswith("trace payload")
+        tainted: TokenSet = set()
+        for pos, tokens in enumerate(arg_tokens):
+            if skip_first and pos == 0:
+                continue
+            tainted |= tokens
+        for tokens in kw_tokens.values():
+            tainted |= tokens
+        # Sorted so that when several tokens reach one sink, the finding
+        # that survives site-level dedup is the same on every run.
+        for token in sorted(tainted, key=_token_order):
+            if isinstance(token, int):
+                if token not in self.summary.param_sinks:
+                    self.summary.param_sinks[token] = SinkHit(
+                        desc, self.fn.path, call.lineno, call.col_offset,
+                        (self.fn.pretty,),
+                    )
+            else:
+                self._record_finding(token, desc, self.fn.path,
+                                     call.lineno, call.col_offset)
+
+    def _record_finding(self, evidence: Evidence, sink_desc: str,
+                        path: str, line: int, col: int) -> None:
+        message = (
+            f"nondeterministic {evidence.kind} value reaches {sink_desc}: "
+            f"{evidence.render()}"
+        )
+        self.summary.findings.append(TaintFinding(
+            path=path, line=line, col=col, kind=evidence.kind,
+            message=message,
+        ))
+
+    def _record_cross_finding(self, tokens: TokenSet, target: FunctionInfo,
+                              hit: SinkHit) -> None:
+        """A tainted argument reaches a sink inside (or below) ``target``."""
+        for token in tokens:
+            if isinstance(token, int):
+                # Parameter taint forwarded into a sinking callee: this
+                # function's parameter reaches that sink transitively.
+                if token not in self.summary.param_sinks:
+                    self.summary.param_sinks[token] = hit.through(
+                        self.fn.pretty)
+            else:
+                frames = token.chain
+                if not frames or frames[-1] != self.fn.pretty:
+                    frames = frames + (self.fn.pretty,)
+                chain = " -> ".join(frames + hit.chain)
+                head = (f"{token.source_desc} "
+                        f"({token.source_path}:{token.source_line})")
+                message = (
+                    f"nondeterministic {token.kind} value reaches "
+                    f"{hit.sink_desc}: {head} -> {chain}"
+                )
+                self.summary.findings.append(TaintFinding(
+                    path=hit.path, line=hit.line, col=hit.col,
+                    kind=token.kind, message=message,
+                ))

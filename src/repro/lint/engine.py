@@ -12,13 +12,14 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
+    Tuple, Union
 
 from repro.lint.baseline import apply_baseline, load_baseline
 from repro.lint.findings import Finding
-from repro.lint.rules import Rule, default_rules
+from repro.lint.graph import ProjectGraph
+from repro.lint.rules import FileContext, ProjectRule, Rule, default_rules
 from repro.lint.suppressions import collect_suppressions, is_suppressed
-from repro.lint.rules import FileContext
 
 PathLike = Union[str, Path]
 
@@ -77,32 +78,47 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def lint_file(
-    path: Path, rules: Sequence[Rule]
-) -> Tuple[List[Finding], int]:
-    """Lint one file -> (kept findings, suppressed count)."""
+def _load_context(
+    path: Path,
+) -> Tuple[Optional[FileContext], List[Finding]]:
+    """Parse one file -> (context, parse-error findings)."""
     display = _display_path(path)
     try:
         source = path.read_text(encoding="utf-8")
     except (OSError, UnicodeDecodeError) as exc:
-        return [Finding(display, 1, 0, "unreadable", str(exc), "")], 0
+        return None, [Finding(display, 1, 0, "unreadable", str(exc), "")]
     try:
         tree = ast.parse(source, filename=str(path))
     except SyntaxError as exc:
-        return [Finding(
+        return None, [Finding(
             display, exc.lineno or 1, exc.offset or 0,
             "syntax-error", exc.msg or "syntax error", "",
-        )], 0
-    ctx = FileContext(
+        )]
+    return FileContext(
         path=display,
         rel=_package_relative(path),
         tree=tree,
         source=source,
-    )
-    suppressions = collect_suppressions(source)
+    ), []
+
+
+def lint_file(
+    path: Path, rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    """Lint one file with the *per-file* rules -> (findings, suppressed).
+
+    Graph-aware rules (:class:`~repro.lint.rules.ProjectRule`) need the
+    whole project and are skipped here; :func:`run_lint` runs them.
+    """
+    ctx, errors = _load_context(path)
+    if ctx is None:
+        return errors, 0
+    suppressions = collect_suppressions(ctx.source)
     kept: List[Finding] = []
     suppressed = 0
     for rule in rules:
+        if isinstance(rule, ProjectRule):
+            continue
         for finding in rule.check(ctx):
             if is_suppressed(suppressions, finding.line, finding.rule):
                 suppressed += 1
@@ -118,10 +134,17 @@ def run_lint(
 ) -> LintResult:
     """Lint ``paths`` with ``rules`` (default: all) against ``baseline``.
 
-    ``baseline`` may be a mapping (``{"path::rule": count}``), a path to a
-    baseline JSON file, or None for no baseline.
+    Each file is parsed once; per-file rules run over its tree, then the
+    graph-aware rules run once over the whole-program
+    :class:`~repro.lint.graph.ProjectGraph` built from every parsed file.
+    Inline suppressions apply to graph findings through the file owning
+    the flagged line, exactly as for per-file findings.  ``baseline`` may
+    be a mapping (``{"path::rule": count}``), a path to a baseline JSON
+    file, or None for no baseline.
     """
     active: Sequence[Rule] = default_rules() if rules is None else rules
+    file_rules = [r for r in active if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
     if baseline is None:
         counts: Dict[str, int] = {}
     elif isinstance(baseline, dict):
@@ -130,11 +153,32 @@ def run_lint(
         counts = load_baseline(baseline)
     result = LintResult()
     all_findings: List[Finding] = []
+    contexts: List[FileContext] = []
+    suppressions_by_path: Dict[str, Dict[int, FrozenSet[str]]] = {}
     for path in iter_python_files(paths):
-        findings, suppressed = lint_file(path, active)
-        all_findings.extend(findings)
-        result.suppressed += suppressed
+        ctx, errors = _load_context(path)
         result.files += 1
+        if ctx is None:
+            all_findings.extend(errors)
+            continue
+        contexts.append(ctx)
+        suppressions = collect_suppressions(ctx.source)
+        suppressions_by_path[ctx.path] = suppressions
+        for rule in file_rules:
+            for finding in rule.check(ctx):
+                if is_suppressed(suppressions, finding.line, finding.rule):
+                    result.suppressed += 1
+                else:
+                    all_findings.append(finding)
+    if project_rules and contexts:
+        graph = ProjectGraph.build(contexts)
+        for rule in project_rules:
+            for finding in rule.check_project(graph):
+                suppressions = suppressions_by_path.get(finding.path, {})
+                if is_suppressed(suppressions, finding.line, finding.rule):
+                    result.suppressed += 1
+                else:
+                    all_findings.append(finding)
     result.findings, result.baselined = apply_baseline(all_findings, counts)
     result.findings.sort()
     return result

@@ -1,0 +1,176 @@
+"""SARIF 2.1.0 output: lint findings as CI code-scanning annotations.
+
+:func:`to_sarif` renders a finding list as a minimal single-run SARIF
+log — the subset GitHub code scanning and editor SARIF viewers consume:
+one ``run`` with a tool driver declaring every rule, and one ``result``
+per finding with a physical location (1-based line, 1-based column).
+
+The container ships no ``jsonschema``, so :func:`validate_sarif` is a
+hand-rolled structural validator over the same subset: it checks exactly
+the shape :func:`to_sarif` promises (required keys, types, rule-id
+cross-references), which is what the CI stage asserts before publishing
+the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.lint.findings import Finding, location_order
+from repro.lint.rules import Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://json.schemastore.org/sarif-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+
+
+def to_sarif(
+    findings: Sequence[Finding], rules: Sequence[Rule],
+) -> str:
+    """The SARIF 2.1.0 log for ``findings`` (rules declared up front)."""
+    declared = {rule.id: rule for rule in rules if rule.id}
+    # Findings from pseudo-rules (syntax-error, unreadable) still need a
+    # driver entry for the ruleId cross-reference to validate.
+    for finding in findings:
+        declared.setdefault(finding.rule, None)
+    rule_ids = sorted(declared)
+    rule_index = {rule_id: i for i, rule_id in enumerate(rule_ids)}
+
+    driver_rules: List[Dict[str, Any]] = []
+    for rule_id in rule_ids:
+        rule = declared[rule_id]
+        entry: Dict[str, Any] = {"id": rule_id}
+        if rule is not None:
+            entry["shortDescription"] = {"text": rule.summary}
+            if rule.hint:
+                entry["help"] = {"text": rule.hint}
+        driver_rules.append(entry)
+
+    results: List[Dict[str, Any]] = []
+    for finding in sorted(findings, key=location_order):
+        message = finding.message
+        if finding.hint:
+            message += f" [hint: {finding.hint}]"
+        results.append({
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        })
+
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "informationUri":
+                        "https://example.invalid/repro-lint",
+                    "rules": driver_rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def validate_sarif(payload: Dict[str, Any]) -> List[str]:
+    """Structural problems in a SARIF log (empty list = valid subset)."""
+    problems: List[str] = []
+
+    def check(cond: bool, message: str) -> bool:
+        if not cond:
+            problems.append(message)
+        return cond
+
+    if not check(isinstance(payload, dict), "payload is not an object"):
+        return problems
+    check(payload.get("version") == SARIF_VERSION,
+          f"version is not {SARIF_VERSION!r}")
+    check(isinstance(payload.get("$schema"), str), "$schema missing")
+    runs = payload.get("runs")
+    if not check(isinstance(runs, list) and len(runs) >= 1,
+                 "runs must be a non-empty array"):
+        return problems
+    for r, run in enumerate(runs):
+        if not check(isinstance(run, dict), f"runs[{r}] not an object"):
+            continue
+        driver = run.get("tool", {}).get("driver", {}) \
+            if isinstance(run.get("tool"), dict) else {}
+        check(isinstance(driver.get("name"), str) and driver.get("name"),
+              f"runs[{r}].tool.driver.name missing")
+        rules = driver.get("rules", [])
+        rule_ids: List[str] = []
+        if check(isinstance(rules, list),
+                 f"runs[{r}].tool.driver.rules not an array"):
+            for i, rule in enumerate(rules):
+                ok = isinstance(rule, dict) \
+                    and isinstance(rule.get("id"), str)
+                check(ok, f"runs[{r}].rules[{i}] missing string id")
+                if ok:
+                    rule_ids.append(rule["id"])
+        results = run.get("results")
+        if not check(isinstance(results, list),
+                     f"runs[{r}].results not an array"):
+            continue
+        for i, result in enumerate(results):
+            where = f"runs[{r}].results[{i}]"
+            if not check(isinstance(result, dict),
+                         f"{where} not an object"):
+                continue
+            rule_id = result.get("ruleId")
+            check(isinstance(rule_id, str) and bool(rule_id),
+                  f"{where}.ruleId missing")
+            if isinstance(rule_id, str) and rule_ids:
+                check(rule_id in rule_ids,
+                      f"{where}.ruleId {rule_id!r} not declared by driver")
+            index = result.get("ruleIndex")
+            if index is not None:
+                check(isinstance(index, int) and 0 <= index < len(rule_ids)
+                      and rule_ids[index] == rule_id,
+                      f"{where}.ruleIndex does not point at ruleId")
+            check(result.get("level") in ("none", "note", "warning",
+                                          "error"),
+                  f"{where}.level invalid")
+            message = result.get("message")
+            check(isinstance(message, dict)
+                  and isinstance(message.get("text"), str),
+                  f"{where}.message.text missing")
+            locations = result.get("locations")
+            if not check(isinstance(locations, list) and locations,
+                         f"{where}.locations must be non-empty"):
+                continue
+            for j, loc in enumerate(locations):
+                phys = loc.get("physicalLocation", {}) \
+                    if isinstance(loc, dict) else {}
+                art = phys.get("artifactLocation", {}) \
+                    if isinstance(phys, dict) else {}
+                check(isinstance(art.get("uri"), str),
+                      f"{where}.locations[{j}] artifact uri missing")
+                region = phys.get("region", {}) \
+                    if isinstance(phys, dict) else {}
+                line = region.get("startLine") \
+                    if isinstance(region, dict) else None
+                check(isinstance(line, int) and line >= 1,
+                      f"{where}.locations[{j}].region.startLine invalid")
+                col = region.get("startColumn") \
+                    if isinstance(region, dict) else None
+                if col is not None:
+                    check(isinstance(col, int) and col >= 1,
+                          f"{where}.locations[{j}].region.startColumn "
+                          f"invalid")
+    return problems

@@ -505,11 +505,16 @@ class PoolBackend(Backend):
             # pull them back and hand them to a living worker — no retry
             # burned.  Whatever it had actually picked up is lost work.
             recovered: List[Tuple[int, int]] = []
-            while not worker.task_queue.empty():
-                item = worker.task_queue.get()
-                for pair in item or ():
-                    worker.assigned.pop(pair[0], None)
-                    recovered.append(pair)
+            try:
+                while not worker.task_queue.empty():
+                    item = worker.task_queue.get()
+                    for pair in item or ():
+                        worker.assigned.pop(pair[0], None)
+                        recovered.append(pair)
+            except (OSError, EOFError):
+                # The dead worker's pipe end is broken mid-drain; whatever
+                # could not be read back errors out below as lost work.
+                pass
             self._backlog.extendleft(reversed(recovered))
             for index, attempt in worker.assigned.items():
                 outcomes.append(TaskOutcome(
@@ -570,6 +575,10 @@ class QueueBackend(Backend):
         self._seen: set = set()
         self._tasks: Dict[int, ShardTask] = {}
         self._submitted = 0
+        #: Heartbeat counters for the inline servicing this backend does;
+        #: owning the ledger keeps worker beat sequences monotonic across
+        #: ``collect`` calls without module-level state in the node code.
+        self._ledger: Any = None
 
     def open(self, config, want_trace: bool) -> None:
         from repro.sched import node as _node
@@ -579,6 +588,7 @@ class QueueBackend(Backend):
             self._owned = True
         else:
             self.root = Path(self.root)
+        self._ledger = _node.HeartbeatLedger()
         _node.init_spool(self.root, config, want_trace)
 
     def submit(self, task: ShardTask, attempt: int = 1) -> None:
@@ -592,7 +602,8 @@ class QueueBackend(Backend):
         from repro.sched import node as _node
 
         if self.service_inline:
-            _node.service_pending(self.root, limit=self.service_batch or None)
+            _node.service_pending(self.root, limit=self.service_batch or None,
+                                  ledger=self._ledger)
         outcomes: List[TaskOutcome] = []
         for index, attempt, payload in _node.read_results(
                 self.root, skip=self._seen):

@@ -45,11 +45,31 @@ _NODES = "nodes.json"
 #: Per-process cache of rebuilt scenario configs, keyed by spool root.
 _CONFIG_CACHE: Dict[str, Tuple[object, bool]] = {}
 
-#: Per-process monotonic heartbeat counters — (beats, sessions_done)
-#: keyed by (root, worker).  A node servicing one spool in several
-#: :func:`service_pending` calls keeps its beat sequence increasing,
-#: which is what receivers dedupe on.
-_BEAT_COUNTS: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+class HeartbeatLedger:
+    """Monotonic heartbeat counters for one spool-servicing owner.
+
+    Whoever drives the servicing loop — a
+    :class:`~repro.sched.backends.QueueBackend` instance, or one node
+    process invocation of :func:`main` — owns exactly one ledger and
+    threads it through :func:`service_pending` / :func:`run_claimed`, so
+    a worker's beat sequence keeps increasing for as long as that owner
+    services the spool, which is what heartbeat receivers dedupe on.
+    Explicit ownership (rather than a module-level counter dict) keeps
+    mutable state out of the worker-boundary surface: nothing here is
+    shared between owners or smuggled into forked workers.
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[Tuple[str, str], Tuple[int, int]] = {}
+
+    def bump(self, root: str, worker: str, sessions: int) -> Tuple[int, int]:
+        """Advance and return (beats, sessions_done) for (root, worker)."""
+        beats, sessions_done = self._counts.get((root, worker), (0, 0))
+        beats += 1
+        sessions_done += int(sessions)
+        self._counts[(root, worker)] = (beats, sessions_done)
+        return beats, sessions_done
 
 
 def init_spool(root, config, want_trace: bool) -> None:
@@ -129,19 +149,23 @@ def claim_next(root) -> Optional[Path]:
     return None
 
 
-def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
+def run_claimed(root, claimed: Path, worker: Optional[str] = None,
+                ledger: Optional[HeartbeatLedger] = None) -> Path:
     """Execute one claimed task file; returns the result sidecar path.
 
     The store lands as ``<stem>.npz``; the JSON sidecar (metrics, trace
     events, run seconds — or an ``error``) is written last, so its
     presence marks the bundle complete.  Failures stay on this node's
     ledger as error sidecars; the scheduler decides about retries.
+    ``ledger`` carries the owner's heartbeat counters; a bare call gets
+    a one-shot ledger (its heartbeat starts at beat 1).
     """
     from repro.sched.backends import _run_task
     from repro.store.npz import save_npz
 
     root = Path(root)
     worker = worker or f"node-{os.getpid()}"
+    ledger = ledger if ledger is not None else HeartbeatLedger()
     with open(claimed, encoding="utf-8") as fh:
         payload = json.load(fh)
     index, attempt = int(payload["index"]), int(payload["attempt"])
@@ -157,7 +181,7 @@ def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
         _atomic_write_text(sidecar, json.dumps({
             "error": f"{type(exc).__name__}: {exc}", "worker": worker,
         }, sort_keys=True))
-        _write_heartbeat(root, worker, last_index=index, sessions=0)
+        _write_heartbeat(root, worker, ledger, last_index=index, sessions=0)
         return sidecar
     # The tmp name must keep the .npz suffix (numpy appends one otherwise).
     npz_tmp = root / _RESULTS / (stem + f".tmp{os.getpid()}.npz")
@@ -171,25 +195,23 @@ def run_claimed(root, claimed: Path, worker: Optional[str] = None) -> Path:
         "events": events,
         "telemetry": telemetry,
     }, sort_keys=True))
-    _write_heartbeat(root, worker, last_index=index, sessions=len(store))
+    _write_heartbeat(root, worker, ledger, last_index=index,
+                     sessions=len(store))
     return sidecar
 
 
-def _write_heartbeat(root: Path, worker: str, last_index: int,
-                     sessions: int) -> None:
+def _write_heartbeat(root: Path, worker: str, ledger: HeartbeatLedger,
+                     last_index: int, sessions: int) -> None:
     """Refresh this worker's spool heartbeat file (one file, overwritten).
 
-    The beat counter is per (spool, worker) within this process, so the
-    sequence stays monotonic across :func:`service_pending` calls and the
-    scheduler's dedupe-by-beat works over file re-reads.
+    The beat counter lives in the caller's :class:`HeartbeatLedger`, so
+    the sequence stays monotonic across :func:`service_pending` calls by
+    one owner and the scheduler's dedupe-by-beat works over file
+    re-reads.
     """
     from repro.obs.resources import worker_heartbeat
 
-    key = (str(root), worker)
-    beats, sessions_done = _BEAT_COUNTS.get(key, (0, 0))
-    beats += 1
-    sessions_done += int(sessions)
-    _BEAT_COUNTS[key] = (beats, sessions_done)
+    beats, sessions_done = ledger.bump(str(root), worker, sessions)
     payload = worker_heartbeat(
         worker, beat=beats, state="idle", last_index=last_index,
         tasks_done=beats, sessions_done=sessions_done,
@@ -214,14 +236,21 @@ def read_heartbeats(root) -> list:
 
 
 def service_pending(root, limit: Optional[int] = None,
-                    worker: Optional[str] = None) -> int:
-    """Claim and run up to ``limit`` pending tasks (all, when None)."""
+                    worker: Optional[str] = None,
+                    ledger: Optional[HeartbeatLedger] = None) -> int:
+    """Claim and run up to ``limit`` pending tasks (all, when None).
+
+    Callers that service one spool repeatedly (the queue backend, a node
+    supervisor loop) should hold a :class:`HeartbeatLedger` and pass it
+    each time so worker beat sequences stay monotonic across calls.
+    """
+    ledger = ledger if ledger is not None else HeartbeatLedger()
     done = 0
     while limit is None or done < limit:
         claimed = claim_next(root)
         if claimed is None:
             break
-        run_claimed(root, claimed, worker=worker)
+        run_claimed(root, claimed, worker=worker, ledger=ledger)
         done += 1
     return done
 
@@ -271,7 +300,7 @@ def main(argv=None) -> int:
               f"(missing {_CONFIG})", file=sys.stderr)
         return 2
     done = service_pending(args.root, limit=args.max_tasks,
-                           worker=args.worker)
+                           worker=args.worker, ledger=HeartbeatLedger())
     print(f"serviced {done} task(s) from {args.root}", file=sys.stderr)
     return 0
 

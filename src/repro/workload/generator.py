@@ -325,7 +325,10 @@ class TraceGenerator:
     def _emit_fail_log(self) -> None:
         budget = self.config.sessions_for("FAIL_LOG")
         budgets = _daily_budgets(budget, self.envelopes["FAIL_LOG"])
-        rng = self.rng.child("fail_log")
+        # Explicit sequential handoff: this stream is passed to the
+        # sampler/emit helpers, which draw on its behalf in one fixed
+        # order inside one task — not shared cross-module state.
+        rng = self.rng.child("fail_log")  # repro: lint-ok[rng-lineage]
         baseline = float(np.median(budgets[budgets > 0])) if (budgets > 0).any() else 0.0
         spike = self._fail_log_setup(rng)
 
@@ -433,7 +436,8 @@ class TraceGenerator:
     def _emit_no_cmd(self) -> None:
         budget = self.config.sessions_for("NO_CMD")
         budgets = _daily_budgets(budget, self.envelopes["NO_CMD"])
-        rng = self.rng.child("no_cmd")
+        # Explicit sequential handoff, as in _emit_fail_log above.
+        rng = self.rng.child("no_cmd")  # repro: lint-ok[rng-lineage]
         ru, ru_pots = self._no_cmd_setup(rng)
 
         for day in range(self.config.n_days):

@@ -1,0 +1,18 @@
+"""determinism-flow: nondeterministic values reach output (2 findings)."""
+
+import hashlib
+import os
+
+
+def host_stamp():
+    return os.getenv("HOSTNAME", "unknown")
+
+
+def write_sessions(builder):
+    builder.append_block("origin", host_stamp())
+
+
+def fingerprint(payload):
+    token = str(id(payload))
+    digest = hashlib.sha256(token.encode())
+    return digest.hexdigest()

@@ -1,0 +1,16 @@
+"""determinism-flow: the sanctioned idiom — values derive from (config, seed)."""
+
+import hashlib
+
+
+def session_token(config, index):
+    return f"{config.seed}:{index}"
+
+
+def write_sessions(builder, config, index):
+    builder.append_block("origin", session_token(config, index))
+
+
+def fingerprint(config, index):
+    digest = hashlib.sha256(session_token(config, index).encode())
+    return digest.hexdigest()

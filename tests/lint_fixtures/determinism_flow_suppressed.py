@@ -1,0 +1,19 @@
+"""determinism-flow: same flows, suppressed at the sink sites."""
+
+import hashlib
+import os
+
+
+def host_stamp():
+    return os.getenv("HOSTNAME", "unknown")
+
+
+def write_sessions(builder):
+    # repro: lint-ok[determinism-flow]
+    builder.append_block("origin", host_stamp())
+
+
+def fingerprint(payload):
+    token = str(id(payload))
+    digest = hashlib.sha256(token.encode())  # repro: lint-ok[determinism-flow]
+    return digest.hexdigest()

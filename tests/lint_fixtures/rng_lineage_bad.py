@@ -1,0 +1,22 @@
+"""rng-lineage: collision, orphan, and headless name (3 findings)."""
+
+from repro.simulation.rng import RngStream
+
+
+def build_arrivals(seed):
+    rng = RngStream(seed, "fixture.arrivals")
+    return rng.uniform(0.0, 1.0)
+
+
+def rebuild_arrivals(seed):
+    rng = RngStream(seed, "fixture.arrivals")
+    return rng.uniform(0.0, 1.0)
+
+
+def derive_spare(seed):
+    spare = RngStream(seed, "fixture.spare")
+    return seed
+
+
+def dynamic_name(seed, kind):
+    return RngStream(seed, f"{kind}.arrivals")

@@ -1,0 +1,10 @@
+"""rng-lineage: the sanctioned idiom — one owner, variants via .child()."""
+
+from repro.simulation.rng import RngStream
+
+
+def build_streams(seed):
+    root = RngStream(seed, "fixture.workload")
+    arrivals = root.child("arrivals")
+    sizes = root.child("sizes")
+    return arrivals.uniform(0.0, 1.0) + sizes.uniform(0.0, 1.0)

@@ -1,0 +1,24 @@
+"""rng-lineage: same constructs, suppressed with justification."""
+
+from repro.simulation.rng import RngStream
+
+
+def build_arrivals(seed):
+    rng = RngStream(seed, "fixture.arrivals")
+    return rng.uniform(0.0, 1.0)
+
+
+def rebuild_arrivals(seed):
+    # Intentional replay of the owning stream (load path).
+    rng = RngStream(seed, "fixture.arrivals")  # repro: lint-ok[rng-lineage]
+    return rng.uniform(0.0, 1.0)
+
+
+def derive_spare(seed):
+    # Reserved derivation, consumer lands in a later change.
+    spare = RngStream(seed, "fixture.spare")  # repro: lint-ok[rng-lineage]
+    return seed
+
+
+def dynamic_name(seed, kind):
+    return RngStream(seed, f"{kind}.arrivals")  # repro: lint-ok[rng-lineage]

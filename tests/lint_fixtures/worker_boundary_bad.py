@@ -1,0 +1,24 @@
+"""worker-boundary: shared state, bad payload, async blocking (3 findings)."""
+
+import multiprocessing
+
+RESULTS = {}
+
+
+def worker_main(task):
+    RESULTS[task] = task * 2
+    return RESULTS[task]
+
+
+def launch(task):
+    proc = multiprocessing.Process(
+        target=worker_main,
+        args=(lambda: task,),
+    )
+    proc.start()
+    return proc
+
+
+async def poll_console():
+    command = input()
+    return command

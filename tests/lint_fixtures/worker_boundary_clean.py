@@ -1,0 +1,20 @@
+"""worker-boundary: the sanctioned idiom — picklable payloads, memo caches."""
+
+import multiprocessing
+
+_PLAN_CACHE = {}
+
+
+def worker_main(task):
+    plan = _PLAN_CACHE.setdefault(task, task * 2)
+    return plan
+
+
+def launch(task):
+    proc = multiprocessing.Process(target=worker_main, args=(task,))
+    proc.start()
+    return proc
+
+
+async def poll_status(backend):
+    return backend.peek()

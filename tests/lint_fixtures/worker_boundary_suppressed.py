@@ -1,0 +1,25 @@
+"""worker-boundary: same constructs, suppressed inline."""
+
+import multiprocessing
+
+RESULTS = {}
+
+
+def worker_main(task):
+    RESULTS[task] = task * 2  # repro: lint-ok[worker-boundary]
+    return RESULTS[task]
+
+
+def launch(task):
+    proc = multiprocessing.Process(
+        target=worker_main,
+        # repro: lint-ok[worker-boundary]
+        args=(lambda: task,),
+    )
+    proc.start()
+    return proc
+
+
+async def poll_console():
+    command = input()  # repro: lint-ok[worker-boundary]
+    return command

@@ -9,6 +9,7 @@ JSON output schema, layer allowlists, registry-name checking (literal and
 dynamic), and the CLI surface.
 """
 
+import ast
 import json
 import subprocess
 import sys
@@ -17,13 +18,19 @@ from pathlib import Path
 import pytest
 
 from repro.lint import (
+    BaselineRatchetError,
+    DataflowAnalysis,
+    FileContext,
     Finding,
+    ProjectGraph,
     apply_baseline,
     collect_suppressions,
     load_baseline,
     run_lint,
     select_rules,
     to_json,
+    to_sarif,
+    validate_sarif,
     write_baseline,
 )
 from repro.lint.cli import main as lint_main
@@ -41,6 +48,9 @@ RULE_IDS = (
     "bare-except",
     "unsorted-listing",
     "registry-names",
+    "determinism-flow",
+    "rng-lineage",
+    "worker-boundary",
 )
 
 #: rule id -> (fixture stem, findings expected from the bad snippet)
@@ -52,6 +62,9 @@ EXPECTED_BAD = {
     "bare-except": ("bare_except", 1),
     "unsorted-listing": ("unsorted_listing", 3),
     "registry-names": ("registry_names", 3),
+    "determinism-flow": ("determinism_flow", 2),
+    "rng-lineage": ("rng_lineage", 3),
+    "worker-boundary": ("worker_boundary", 3),
 }
 
 
@@ -377,6 +390,228 @@ def test_registry_rule_ignores_non_instrument_calls(tmp_path):
     result = run_lint([p], rules=select_rules(["registry-names"]),
                       baseline=None)
     assert result.findings == []
+
+
+# -- call graph + taint engine -------------------------------------------------
+
+
+def _graph_of(tmp_path, files):
+    """Build a ProjectGraph from {package-relative path: source}."""
+    contexts = []
+    for rel, source in sorted(files.items()):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        contexts.append(FileContext(
+            path=path.as_posix(), rel=rel,
+            tree=ast.parse(source), source=source,
+        ))
+    return ProjectGraph.build(contexts)
+
+
+def test_call_graph_cross_module_resolution_and_reachability(tmp_path):
+    graph = _graph_of(tmp_path, {
+        "workload/emit.py": (
+            "from repro.store.build import append_row\n"
+            "def produce(builder, value):\n"
+            "    append_row(builder, value)\n"
+        ),
+        "store/build.py": (
+            "def append_row(builder, value):\n"
+            "    builder.append_block('col', value)\n"
+        ),
+    })
+    produce = "repro.workload.emit:produce"
+    target = "repro.store.build:append_row"
+    assert produce in graph.functions and target in graph.functions
+    assert target in graph.reachable([produce])
+
+
+def test_call_graph_cycles_converge(tmp_path):
+    graph = _graph_of(tmp_path, {
+        "a.py": (
+            "import os\n"
+            "def ping(n, builder):\n"
+            "    if n <= 0:\n"
+            "        builder.append_block('col', os.getenv('X'))\n"
+            "    return pong(n - 1, builder)\n"
+            "def pong(n, builder):\n"
+            "    return ping(n, builder)\n"
+        ),
+    })
+    ping = "repro.a:ping"
+    reach = graph.reachable([ping])
+    assert "repro.a:pong" in reach and ping in reach
+    # The taint fixpoint must terminate on the mutual recursion and
+    # still report the flow inside the cycle.
+    findings = DataflowAnalysis(graph).run()
+    assert [f.kind for f in findings] == ["env-read"]
+
+
+def test_call_graph_dynamic_dispatch_fallback(tmp_path):
+    graph = _graph_of(tmp_path, {
+        "plugins.py": (
+            "class Npz:\n"
+            "    def flush(self):\n"
+            "        return 1\n"
+            "class Jsonl:\n"
+            "    def flush(self):\n"
+            "        return 2\n"
+            "def drain(sink):\n"
+            "    return sink.flush()\n"
+        ),
+    })
+    drain = graph.functions["repro.plugins:drain"]
+    (site,) = [s for s in drain.calls if s.targets]
+    assert set(site.targets) == {
+        "repro.plugins:Npz.flush", "repro.plugins:Jsonl.flush",
+    }
+    assert site.dynamic
+
+
+def test_taint_sanitizer_layer_trusts_obs(tmp_path):
+    files = {
+        "obs/timing.py": (
+            "import time\n"
+            "def now_seconds():\n"
+            "    return time.time()\n"
+        ),
+        "store/build.py": (
+            "from repro.obs.timing import now_seconds\n"
+            "def write(builder):\n"
+            "    builder.append_block('col', now_seconds())\n"
+        ),
+    }
+    graph = _graph_of(tmp_path, files)
+    assert DataflowAnalysis(graph).run() == []
+    # The identical helper outside a sanitizer layer is a finding.
+    files["workload/timing.py"] = files.pop("obs/timing.py")
+    files["store/build.py"] = files["store/build.py"].replace(
+        "repro.obs.timing", "repro.workload.timing")
+    graph = _graph_of(tmp_path / "unsanitized", files)
+    findings = DataflowAnalysis(graph).run()
+    assert [f.kind for f in findings] == ["wall-clock"]
+
+
+def test_taint_finding_carries_source_to_sink_path(tmp_path):
+    graph = _graph_of(tmp_path, {
+        "workload/stamp.py": (
+            "import os\n"
+            "def read_stamp():\n"
+            "    return os.getenv('HOSTNAME')\n"
+            "def relay():\n"
+            "    return read_stamp()\n"
+        ),
+        "store/build.py": (
+            "from repro.workload.stamp import relay\n"
+            "def write(builder):\n"
+            "    builder.append_block('origin', relay())\n"
+        ),
+    })
+    (finding,) = DataflowAnalysis(graph).run()
+    # The message renders the full call path, source frame to sink frame.
+    assert "os.getenv" in finding.message
+    assert "read_stamp" in finding.message
+    assert "relay" in finding.message
+    assert "write" in finding.message
+    assert " -> " in finding.message
+    assert finding.path.endswith("store/build.py")
+
+
+def test_taint_sorted_strips_fs_order(tmp_path):
+    graph = _graph_of(tmp_path, {
+        "workload/scan.py": (
+            "import os\n"
+            "def write(builder, root):\n"
+            "    builder.append_block('files', sorted(os.listdir(root)))\n"
+        ),
+    })
+    assert DataflowAnalysis(graph).run() == []
+
+
+# -- baseline ratchet ----------------------------------------------------------
+
+
+def test_write_baseline_ratchet_refuses_growth(tmp_path):
+    first = Finding("pkg/x.py", 3, 0, "bare-except", "m")
+    second = Finding("pkg/x.py", 9, 0, "bare-except", "m")
+    p = tmp_path / "baseline.json"
+    write_baseline(p, [first])                      # fresh file: allowed
+    with pytest.raises(BaselineRatchetError) as excinfo:
+        write_baseline(p, [first, second])
+    assert excinfo.value.grown == {"pkg/x.py::bare-except": (1, 2)}
+    write_baseline(p, [first, second], force=True)  # explicit new debt
+    assert sum(load_baseline(p).values()) == 2
+    write_baseline(p, [first])                      # shrinking: always fine
+    assert sum(load_baseline(p).values()) == 1
+    write_baseline(p, [])                           # dropping keys too
+    assert load_baseline(p) == {}
+
+
+def test_cli_write_baseline_ratchet(tmp_path, capsys):
+    clean = str(FIXTURES / "bare_except_clean.py")
+    bad = str(FIXTURES / "bare_except_bad.py")
+    baseline = str(tmp_path / "baseline.json")
+    assert lint_main([clean, "--baseline", baseline,
+                      "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert lint_main([bad, "--baseline", baseline, "--write-baseline"]) == 2
+    assert "ratchet" in capsys.readouterr().err
+    assert lint_main([bad, "--baseline", baseline, "--write-baseline",
+                      "--force"]) == 0
+
+
+# -- SARIF output --------------------------------------------------------------
+
+
+def test_sarif_output_validates_and_crossreferences(capsys):
+    bad = str(FIXTURES / "determinism_flow_bad.py")
+    assert lint_main([bad, "--no-baseline", "--format", "sarif"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert validate_sarif(payload) == []
+    (run,) = payload["runs"]
+    declared = [r["id"] for r in run["tool"]["driver"]["rules"]]
+    assert "determinism-flow" in declared
+    results = run["results"]
+    assert len(results) == 2
+    for result in results:
+        assert result["ruleId"] == "determinism-flow"
+        assert declared[result["ruleIndex"]] == "determinism-flow"
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] >= 1 and region["startColumn"] >= 1
+        assert " -> " in result["message"]["text"]
+
+
+def test_sarif_handles_pseudo_rules(tmp_path):
+    p = tmp_path / "broken.py"
+    p.write_text("def f(:\n")
+    result = run_lint([p], baseline=None)
+    payload = json.loads(to_sarif(result.findings, select_rules([])))
+    assert validate_sarif(payload) == []
+    assert payload["runs"][0]["results"][0]["ruleId"] == "syntax-error"
+
+
+def test_sarif_validator_catches_problems():
+    assert validate_sarif({"version": "2.1.0"})  # missing runs/$schema
+    payload = {
+        "$schema": "x", "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "t", "rules": [{"id": "a"}]}},
+            "results": [{
+                "ruleId": "b", "ruleIndex": 0, "level": "fatal",
+                "message": {},
+                "locations": [{"physicalLocation": {
+                    "artifactLocation": {"uri": "f.py"},
+                    "region": {"startLine": 0},
+                }}],
+            }],
+        }],
+    }
+    problems = "\n".join(validate_sarif(payload))
+    assert "not declared" in problems
+    assert "level" in problems
+    assert "message.text" in problems
+    assert "startLine" in problems
 
 
 # -- rule selection ------------------------------------------------------------
